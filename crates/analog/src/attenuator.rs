@@ -1,0 +1,113 @@
+//! Voltage-variable attenuator (HMC712LP3C class).
+//!
+//! The prototype realises "variable gain" by putting a voltage-controlled
+//! attenuator between a fixed-gain LNA and PA (§5). The part maps a
+//! control voltage to an attenuation over roughly a 30 dB range with a
+//! monotone but non-linear curve; driving it from a DAC quantises the
+//! reachable attenuations.
+
+/// A voltage-variable attenuator.
+#[derive(Debug, Clone, Copy)]
+pub struct VoltageVariableAttenuator {
+    /// Attenuation at minimum control voltage, dB (insertion loss).
+    pub min_attenuation_db: f64,
+    /// Attenuation at maximum control voltage, dB.
+    pub max_attenuation_db: f64,
+    /// Control voltage range, volts.
+    pub v_min: f64,
+    /// Control voltage range, volts.
+    pub v_max: f64,
+    /// Curve shaping exponent: 1.0 = linear in voltage; >1 compresses the
+    /// low-voltage end, as the real part does.
+    pub curve_exponent: f64,
+}
+
+impl Default for VoltageVariableAttenuator {
+    fn default() -> Self {
+        VoltageVariableAttenuator {
+            min_attenuation_db: 2.0,
+            max_attenuation_db: 32.0,
+            v_min: 0.0,
+            v_max: 5.0,
+            curve_exponent: 1.4,
+        }
+    }
+}
+
+impl VoltageVariableAttenuator {
+    /// Attenuation (dB) for a control voltage, clamped to the valid range.
+    pub fn attenuation_db(&self, control_v: f64) -> f64 {
+        let v = control_v.clamp(self.v_min, self.v_max);
+        let frac = if self.v_max > self.v_min {
+            (v - self.v_min) / (self.v_max - self.v_min)
+        } else {
+            0.0
+        };
+        let shaped = frac.powf(self.curve_exponent);
+        self.min_attenuation_db + shaped * (self.max_attenuation_db - self.min_attenuation_db)
+    }
+
+    /// The control voltage that produces a target attenuation (inverse of
+    /// [`Self::attenuation_db`]), clamped to the achievable range.
+    pub fn control_for_attenuation(&self, target_db: f64) -> f64 {
+        let t = target_db.clamp(self.min_attenuation_db, self.max_attenuation_db);
+        let frac = (t - self.min_attenuation_db)
+            / (self.max_attenuation_db - self.min_attenuation_db).max(1e-12);
+        self.v_min + frac.powf(1.0 / self.curve_exponent) * (self.v_max - self.v_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let a = VoltageVariableAttenuator::default();
+        assert_eq!(a.attenuation_db(0.0), 2.0);
+        assert!((a.attenuation_db(5.0) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range_voltages() {
+        let a = VoltageVariableAttenuator::default();
+        assert_eq!(a.attenuation_db(-3.0), a.attenuation_db(0.0));
+        assert_eq!(a.attenuation_db(12.0), a.attenuation_db(5.0));
+    }
+
+    #[test]
+    fn monotone_in_voltage() {
+        let a = VoltageVariableAttenuator::default();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=50 {
+            let v = i as f64 * 0.1;
+            let att = a.attenuation_db(v);
+            assert!(att >= prev);
+            prev = att;
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = VoltageVariableAttenuator::default();
+        for target in [2.0, 5.0, 10.0, 20.0, 32.0] {
+            let v = a.control_for_attenuation(target);
+            assert!((a.attenuation_db(v) - target).abs() < 1e-9, "target={target}");
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_unreachable_targets() {
+        let a = VoltageVariableAttenuator::default();
+        assert_eq!(a.control_for_attenuation(0.0), a.v_min);
+        assert_eq!(a.control_for_attenuation(60.0), a.v_max);
+    }
+
+    #[test]
+    fn curve_is_nonlinear() {
+        let a = VoltageVariableAttenuator::default();
+        let mid = a.attenuation_db(2.5);
+        let linear_mid = (2.0 + 32.0) / 2.0;
+        assert!((mid - linear_mid).abs() > 1.0, "curve should not be linear");
+    }
+}

@@ -1,0 +1,130 @@
+//! Control DAC (AD7228 class).
+//!
+//! The Arduino drives the attenuator and phase shifters through an 8-bit
+//! DAC (§5). The DAC bounds how finely gain and phase can be commanded;
+//! the gain-control algorithm's step size is ultimately one DAC code.
+
+/// An n-bit voltage-output DAC.
+#[derive(Debug, Clone, Copy)]
+pub struct Dac {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Output at code 0, volts.
+    pub v_min: f64,
+    /// Output at full-scale code, volts.
+    pub v_max: f64,
+}
+
+impl Default for Dac {
+    fn default() -> Self {
+        // AD7228: 8-bit, here spanning 0–5 V.
+        Dac {
+            bits: 8,
+            v_min: 0.0,
+            v_max: 5.0,
+        }
+    }
+}
+
+impl Dac {
+    /// Creates a DAC.
+    ///
+    /// # Panics
+    /// Panics for 0 bits, more than 16 bits, or an inverted voltage range.
+    pub fn new(bits: u32, v_min: f64, v_max: f64) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        assert!(v_max > v_min, "voltage range inverted");
+        Dac { bits, v_min, v_max }
+    }
+
+    /// Number of distinct codes.
+    pub fn codes(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Full-scale code (all ones).
+    pub fn max_code(&self) -> u32 {
+        self.codes() - 1
+    }
+
+    /// Output voltage for a code (clamped to full scale).
+    pub fn voltage(&self, code: u32) -> f64 {
+        let c = code.min(self.max_code()) as f64;
+        self.v_min + c / self.max_code() as f64 * (self.v_max - self.v_min)
+    }
+
+    /// The code whose output voltage is closest to `target_v`.
+    pub fn code_for_voltage(&self, target_v: f64) -> u32 {
+        let t = target_v.clamp(self.v_min, self.v_max);
+        let frac = (t - self.v_min) / (self.v_max - self.v_min);
+        (frac * self.max_code() as f64).round() as u32
+    }
+
+    /// Voltage step between adjacent codes (LSB size).
+    pub fn lsb_v(&self) -> f64 {
+        (self.v_max - self.v_min) / self.max_code() as f64
+    }
+
+    /// Quantises a requested voltage to the nearest reachable output.
+    pub fn quantise(&self, target_v: f64) -> f64 {
+        self.voltage(self.code_for_voltage(target_v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_8_bit() {
+        let d = Dac::default();
+        assert_eq!(d.codes(), 256);
+        assert_eq!(d.max_code(), 255);
+        assert!((d.lsb_v() - 5.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_exact() {
+        let d = Dac::default();
+        assert_eq!(d.voltage(0), 0.0);
+        assert_eq!(d.voltage(255), 5.0);
+        assert_eq!(d.voltage(999), 5.0); // clamped
+    }
+
+    #[test]
+    fn code_voltage_roundtrip() {
+        let d = Dac::default();
+        for code in [0u32, 1, 17, 128, 254, 255] {
+            assert_eq!(d.code_for_voltage(d.voltage(code)), code);
+        }
+    }
+
+    #[test]
+    fn quantisation_error_bounded_by_half_lsb() {
+        let d = Dac::default();
+        for i in 0..=100 {
+            let v = i as f64 * 0.05;
+            let q = d.quantise(v);
+            assert!((q - v).abs() <= d.lsb_v() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_targets_clamp() {
+        let d = Dac::default();
+        assert_eq!(d.code_for_voltage(-2.0), 0);
+        assert_eq!(d.code_for_voltage(9.0), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn zero_bits_rejected() {
+        Dac::new(0, 0.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        Dac::new(8, 5.0, 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Reflector power budget.
+//!
+//! MoVR's cost pitch (§1) is that a reflector is *not* "a full-fledged
+//! mmWave transceiver": no baseband chains means a parts list of an
+//! amplifier, phase shifters, a DAC, a current sensor, a microcontroller
+//! and a Bluetooth radio. This module adds up what that draws — which
+//! answers a practical deployment question the paper leaves implicit:
+//! can a reflector run from a battery, or does "stick them to the walls"
+//! imply a wall wart?
+
+use crate::amplifier::VariableGainAmplifier;
+
+/// Static draws of the reflector's support electronics, amperes at the
+/// supply rail.
+#[derive(Debug, Clone, Copy)]
+pub struct SupportDraw {
+    /// Phase shifters (all elements, both arrays).
+    pub phase_shifters_a: f64,
+    /// Control DAC.
+    pub dac_a: f64,
+    /// Current sensor + misc analog.
+    pub sensing_a: f64,
+    /// Microcontroller (Arduino-class).
+    pub mcu_a: f64,
+    /// Bluetooth control radio (average).
+    pub bluetooth_a: f64,
+}
+
+impl Default for SupportDraw {
+    fn default() -> Self {
+        SupportDraw {
+            phase_shifters_a: 0.040,
+            dac_a: 0.005,
+            sensing_a: 0.003,
+            mcu_a: 0.060,
+            bluetooth_a: 0.010,
+        }
+    }
+}
+
+impl SupportDraw {
+    /// Sum of the static draws, amperes.
+    pub fn total_a(&self) -> f64 {
+        self.phase_shifters_a + self.dac_a + self.sensing_a + self.mcu_a + self.bluetooth_a
+    }
+}
+
+/// The whole reflector's power model.
+#[derive(Debug, Clone, Copy)]
+pub struct ReflectorPower {
+    pub support: SupportDraw,
+    /// Supply voltage, volts.
+    pub rail_v: f64,
+}
+
+impl Default for ReflectorPower {
+    fn default() -> Self {
+        ReflectorPower {
+            support: SupportDraw::default(),
+            rail_v: 5.0,
+        }
+    }
+}
+
+impl ReflectorPower {
+    /// Instantaneous draw (amperes) given the amplifier's state and the
+    /// current loop margin.
+    pub fn total_draw_a(
+        &self,
+        amplifier: &VariableGainAmplifier,
+        leakage_attenuation_db: f64,
+    ) -> f64 {
+        self.support.total_a() + amplifier.supply_current_a(leakage_attenuation_db)
+    }
+
+    /// Instantaneous power, watts.
+    pub fn total_power_w(
+        &self,
+        amplifier: &VariableGainAmplifier,
+        leakage_attenuation_db: f64,
+    ) -> f64 {
+        self.total_draw_a(amplifier, leakage_attenuation_db) * self.rail_v
+    }
+
+    /// Hours a pack of `capacity_mah` sustains the reflector at this
+    /// operating point.
+    pub fn battery_runtime_hours(
+        &self,
+        capacity_mah: f64,
+        amplifier: &VariableGainAmplifier,
+        leakage_attenuation_db: f64,
+    ) -> f64 {
+        capacity_mah / (self.total_draw_a(amplifier, leakage_attenuation_db) * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amp_at(gain_db: f64) -> VariableGainAmplifier {
+        let mut a = VariableGainAmplifier::default();
+        a.set_gain_db(gain_db);
+        a
+    }
+
+    #[test]
+    fn support_draw_is_modest() {
+        let s = SupportDraw::default();
+        assert!(s.total_a() < 0.15, "support should be ~100 mA class");
+        assert!(s.total_a() > 0.05);
+    }
+
+    #[test]
+    fn amplifier_dominates_when_serving() {
+        let p = ReflectorPower::default();
+        let amp = amp_at(40.0);
+        let total = p.total_draw_a(&amp, 60.0);
+        let amp_alone = amp.supply_current_a(60.0);
+        assert!(amp_alone > p.support.total_a());
+        assert!((total - amp_alone - p.support.total_a()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_amplifier_leaves_support_only() {
+        let p = ReflectorPower::default();
+        let mut amp = amp_at(40.0);
+        amp.set_enabled(false);
+        assert_eq!(p.total_draw_a(&amp, 60.0), p.support.total_a());
+    }
+
+    #[test]
+    fn power_in_the_couple_watt_class() {
+        // ~0.37 A at 5 V ≈ 1.8 W while serving: a wall wart, or a fat
+        // power bank for a day.
+        let p = ReflectorPower::default();
+        let w = p.total_power_w(&amp_at(40.0), 60.0);
+        assert!((1.0..3.5).contains(&w), "w={w}");
+    }
+
+    #[test]
+    fn battery_runtime_arithmetic() {
+        let p = ReflectorPower::default();
+        let amp = amp_at(40.0);
+        let h = p.battery_runtime_hours(10_000.0, &amp, 60.0);
+        // ~10 Ah / ~0.37 A ≈ 27 h: a power-bank-per-day deployment is
+        // feasible, but wall power is the sane default.
+        assert!((20.0..40.0).contains(&h), "h={h}");
+    }
+
+    #[test]
+    fn saturation_costs_power_too() {
+        let p = ReflectorPower::default();
+        let amp = amp_at(50.0);
+        let healthy = p.total_power_w(&amp, 60.0);
+        let saturated = p.total_power_w(&amp, 48.0);
+        assert!(saturated > healthy + 0.5);
+    }
+}

@@ -1,0 +1,106 @@
+//! DC current sensing (INA169 class).
+//!
+//! The gain-control algorithm's only observable is the amplifier's supply
+//! current, read through a high-side current sensor into the Arduino's
+//! ADC (§4.2, §5). The sensor model adds what a real measurement has:
+//! ADC quantisation and a little noise. The detection threshold in the
+//! core algorithm must clear both.
+
+use movr_math::SimRng;
+
+/// A current sensor feeding an n-bit ADC.
+#[derive(Debug, Clone)]
+pub struct CurrentSensor {
+    /// Full-scale measurable current, amperes.
+    pub full_scale_a: f64,
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+    /// RMS measurement noise, amperes.
+    pub noise_rms_a: f64,
+    rng: SimRng,
+}
+
+impl CurrentSensor {
+    /// Creates a sensor. The Arduino Due's ADC is 12-bit; a 1 A full scale
+    /// and ~1 mA of noise are representative of an INA169 + shunt setup.
+    pub fn new(seed: u64) -> Self {
+        CurrentSensor {
+            full_scale_a: 1.0,
+            adc_bits: 12,
+            noise_rms_a: 0.001,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An idealised sensor with no noise (for unit tests and oracles).
+    pub fn ideal() -> Self {
+        CurrentSensor {
+            full_scale_a: 1.0,
+            adc_bits: 16,
+            noise_rms_a: 0.0,
+            rng: SimRng::seed_from_u64(0),
+        }
+    }
+
+    /// The smallest current step the ADC resolves, amperes.
+    pub fn lsb_a(&self) -> f64 {
+        self.full_scale_a / ((1u64 << self.adc_bits) - 1) as f64
+    }
+
+    /// Measures a true current: adds noise, clamps to full scale,
+    /// quantises to the ADC grid.
+    pub fn measure_a(&mut self, true_current_a: f64) -> f64 {
+        let noisy = true_current_a + self.rng.normal(0.0, self.noise_rms_a);
+        let clamped = noisy.clamp(0.0, self.full_scale_a);
+        let lsb = self.lsb_a();
+        (clamped / lsb).round() * lsb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_exact_to_one_lsb() {
+        let mut s = CurrentSensor::ideal();
+        for i in [0.0, 0.1, 0.25, 0.333, 0.9] {
+            let m = s.measure_a(i);
+            assert!((m - i).abs() <= s.lsb_a() / 2.0 + 1e-12, "i={i} m={m}");
+        }
+    }
+
+    #[test]
+    fn clamps_to_range() {
+        let mut s = CurrentSensor::ideal();
+        assert_eq!(s.measure_a(-0.5), 0.0);
+        assert_eq!(s.measure_a(5.0), s.full_scale_a);
+    }
+
+    #[test]
+    fn noise_has_expected_scale() {
+        let mut s = CurrentSensor::new(42);
+        let n = 2000;
+        let errs: Vec<f64> = (0..n).map(|_| s.measure_a(0.5) - 0.5).collect();
+        let mean: f64 = errs.iter().sum::<f64>() / n as f64;
+        let rms: f64 = (errs.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.0005, "mean={mean}");
+        // Quantisation adds a little on top of the 1 mA noise.
+        assert!(rms > 0.0005 && rms < 0.002, "rms={rms}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CurrentSensor::new(7);
+        let mut b = CurrentSensor::new(7);
+        for _ in 0..50 {
+            assert_eq!(a.measure_a(0.3), b.measure_a(0.3));
+        }
+    }
+
+    #[test]
+    fn twelve_bit_lsb() {
+        let s = CurrentSensor::new(0);
+        assert!((s.lsb_a() - 1.0 / 4095.0).abs() < 1e-12);
+    }
+}

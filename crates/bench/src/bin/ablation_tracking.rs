@@ -1,0 +1,87 @@
+//! Ablation — *tracking-assisted realignment (§6) vs sweep-on-degradation.*
+//!
+//! Runs identical blockage-heavy sessions with the reflector's transmit
+//! beam managed two ways: following the VR tracking system continuously
+//! (the §6 proposal) vs re-sweeping a ±15° window whenever the SNR
+//! degrades. The difference shows up as frame stalls.
+//!
+//! ```sh
+//! cargo run -p movr-bench --release --bin ablation_tracking
+//! ```
+
+use movr::session::{run_session, SessionConfig, Strategy};
+use movr_bench::figure_header;
+use movr_math::Vec2;
+use movr_motion::{HandRaise, MotionTrace, PlayerState, RandomWalk, WalkerCrossing};
+use movr_rfsim::Room;
+
+fn main() {
+    figure_header(
+        "Ablation: realignment",
+        "frame quality with tracking-assisted vs sweep realignment",
+    );
+
+    let base = {
+        let center = Vec2::new(4.0, 2.5);
+        let yaw = center.bearing_deg_to(Vec2::new(0.5, 2.5));
+        PlayerState::standing(center, yaw)
+    };
+    let room = Room::paper_office();
+
+    let traces: Vec<(&str, Box<dyn MotionTrace>)> = vec![
+        (
+            "hand raise (2 s)",
+            Box::new(HandRaise {
+                base,
+                raise_at_s: 2.0,
+                lower_at_s: 4.0,
+                duration_s: 6.0,
+            }),
+        ),
+        (
+            "walker crossing",
+            Box::new(WalkerCrossing {
+                player: base,
+                from: Vec2::new(1.5, 0.5),
+                to: Vec2::new(1.5, 4.5),
+                start_s: 1.0,
+                speed_mps: 1.2,
+                duration_s: 6.0,
+            }),
+        ),
+        (
+            "gaze walk (30 s)",
+            Box::new(RandomWalk::with_gaze(&room, 4242, 30.0, Vec2::new(0.5, 2.5))),
+        ),
+    ];
+
+    println!(
+        "\n{:<18} {:<10} {:>8} {:>9} {:>12} {:>12}",
+        "trace", "realign", "loss %", "glitches", "stall (ms)", "realigns"
+    );
+    println!("{}", "-".repeat(76));
+    for (name, trace) in &traces {
+        for (mode, tracking) in [("tracking", true), ("sweep", false)] {
+            let out = run_session(
+                trace.as_ref(),
+                &SessionConfig::with_strategy(Strategy::Movr { tracking }),
+            );
+            println!(
+                "{:<18} {:<10} {:>8.2} {:>9} {:>12.0} {:>12}",
+                name,
+                mode,
+                out.glitches.loss_rate * 100.0,
+                out.glitches.glitch_events,
+                out.glitches.longest_stall_ms(90.0),
+                out.realignments
+            );
+        }
+    }
+
+    println!(
+        "\n--- conclusion ---\n\
+         A windowed sweep costs hundreds of milliseconds of stall every time\n\
+         the beam must move; riding the tracker costs one control command.\n\
+         This is §6's 'leverage the tracking information' argument, measured."
+    );
+}

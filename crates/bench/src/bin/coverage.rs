@@ -1,0 +1,68 @@
+//! Deployment planning — *where to stick the reflectors* (§4: "one or
+//! more MoVR reflectors can be installed in a room by sticking them to
+//! the walls").
+//!
+//! Greedily selects wall mounts to maximise the fraction of sampled
+//! player poses served at VR grade, and prints the coverage curve — the
+//! quantitative version of the multi-reflector story.
+//!
+//! ```sh
+//! cargo run -p movr-bench --release --bin coverage
+//! ```
+
+use movr::planning::{candidate_wall_mounts, greedy_plan, sample_poses};
+use movr_bench::{ap_position, figure_header};
+use movr_math::SimRng;
+use movr_radio::RadioEndpoint;
+use movr_rfsim::Room;
+
+fn main() {
+    figure_header(
+        "Deployment planning",
+        "greedy wall-mount selection, coverage of random player poses",
+    );
+    let room = Room::paper_office();
+    let ap = RadioEndpoint::paper_radio(ap_position(), 20.0);
+    let mut rng = SimRng::seed_from_u64(77);
+
+    let poses = sample_poses(&room, 1.2, 6, &mut rng);
+    let candidates = candidate_wall_mounts(&room, 1.2);
+    println!(
+        "\n{} candidate mounts, {} sample poses (position grid x 6 headings)",
+        candidates.len(),
+        poses.len()
+    );
+
+    let plan = greedy_plan(&ap, &candidates, &poses, 4);
+
+    println!("\nselection   coverage   mount");
+    println!("{}", "-".repeat(56));
+    println!(
+        "{:<11} {:>7.0}%   (AP alone)",
+        "-",
+        plan.coverage_curve[0] * 100.0
+    );
+    for (k, m) in plan.mounts.iter().enumerate() {
+        println!(
+            "#{:<10} {:>7.0}%   at ({:.2}, {:.2}) facing {:>6.1}°",
+            k + 1,
+            plan.coverage_curve[k + 1] * 100.0,
+            m.position.x,
+            m.position.y,
+            m.boresight_deg
+        );
+    }
+
+    println!("\n--- conclusion ---");
+    let last = *plan.coverage_curve.last().unwrap();
+    let first_gain = plan.coverage_curve.get(1).copied().unwrap_or(0.0)
+        - plan.coverage_curve[0];
+    println!(
+        "The first reflector buys the most ({:+.0} points); returns\n\
+         diminish as the remaining uncovered poses are the geometrically\n\
+         awkward ones. Final coverage with {} reflectors: {:.0}%.",
+        first_gain * 100.0,
+        plan.mounts.len(),
+        last * 100.0
+    );
+}

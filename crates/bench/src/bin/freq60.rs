@@ -1,0 +1,103 @@
+//! Extension — *24 GHz prototype vs 60 GHz 802.11ad deployment.*
+//!
+//! The paper's prototype runs in the 24 GHz ISM band, but the target
+//! radio (802.11ad) lives at 60 GHz, where free-space loss is 8 dB
+//! higher for the same aperture count. This bin quantifies what that
+//! does to the link budget and what restores it: the shorter wavelength
+//! lets the same physical aperture hold more elements, and MoVR's
+//! amplified relay is *less* sensitive to the carrier than the direct
+//! path because its hops are short.
+//!
+//! ```sh
+//! cargo run -p movr-bench --release --bin freq60
+//! ```
+
+use movr::reflector::MovrReflector;
+use movr::relay::relay_link;
+use movr_bench::{ap_position, figure_header, reflector_position};
+use movr_math::Vec2;
+use movr_phased_array::{PatchElement, PhaseShifter, SteeredArray, UniformLinearArray};
+use movr_radio::{evaluate_link, RadioEndpoint, RateTable, VR_REQUIRED_SNR_DB};
+use movr_rfsim::{Channel, NoiseModel, Room, Scene};
+
+fn endpoint(pos: Vec2, bore: f64, elements: usize) -> RadioEndpoint {
+    let arr = UniformLinearArray::new(
+        elements,
+        0.5,
+        PatchElement::default(),
+        PhaseShifter::default(),
+    );
+    RadioEndpoint::new(pos, SteeredArray::new(arr, bore), 0.0)
+}
+
+fn scenario(freq_hz: f64, elements: usize) -> (f64, f64) {
+    let scene = Scene::new(
+        Room::paper_office(),
+        Channel::new(freq_hz),
+        NoiseModel::ieee_802_11ad(),
+    );
+    let mut ap = endpoint(ap_position(), 20.0, elements);
+    let hs_pos = Vec2::new(4.0, 2.5);
+    let mut hs = endpoint(hs_pos, hs_pos.bearing_deg_to(ap_position()), elements);
+    ap.steer_toward(hs.position());
+    hs.steer_toward(ap.position());
+    let direct = evaluate_link(&scene, &ap, &hs).snr_db;
+
+    // MoVR path with the canonical reflector (same element count).
+    let mut reflector = MovrReflector::wall_mounted(reflector_position(), -70.0, 1);
+    let mut ap_r = ap;
+    ap_r.steer_toward(reflector.position());
+    reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));
+    reflector.steer_tx(reflector.position().bearing_deg_to(hs.position()));
+    movr::gain_control::run_gain_control(
+        &mut reflector,
+        &movr::gain_control::GainControlConfig::default(),
+    );
+    let mut hs_r = hs;
+    hs_r.steer_toward(reflector.position());
+    let via = relay_link(&scene, &ap_r, &reflector, &hs_r).end_snr_db;
+    (direct, via)
+}
+
+fn main() {
+    figure_header(
+        "Extension: carrier frequency",
+        "the 24 GHz prototype vs a 60 GHz 802.11ad deployment",
+    );
+    let rate = RateTable;
+
+    println!(
+        "\n{:<34} {:>10} {:>10} {:>8}",
+        "configuration", "direct", "via MoVR", "VR-ok?"
+    );
+    println!("{}", "-".repeat(66));
+    let rows = [
+        ("24 GHz, 10-element arrays", 24.0e9, 10),
+        ("60.48 GHz, 10-element arrays", 60.48e9, 10),
+        ("60.48 GHz, 16-element arrays", 60.48e9, 16),
+        ("60.48 GHz, 24-element arrays", 60.48e9, 24),
+    ];
+    for (label, f, n) in rows {
+        let (direct, via) = scenario(f, n);
+        println!(
+            "{:<34} {:>7.1} dB {:>7.1} dB {:>8}",
+            label,
+            direct,
+            via,
+            if rate.supports_vr(direct.max(via)) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    println!("\n--- conclusion ---");
+    println!(
+        "Moving 24 → 60 GHz costs ~8 dB of Friis loss per hop (a 4 m link\n\
+         needs SNR ≥ {VR_REQUIRED_SNR_DB:.0} dB). The same PCB area holds 2.5× the elements\n\
+         at 60 GHz, which more than buys the budget back — and narrower\n\
+         beams make the §6 tracking/prediction machinery (see\n\
+         ablation_prediction) load-bearing rather than optional."
+    );
+}

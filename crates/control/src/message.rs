@@ -1,0 +1,89 @@
+//! Control-protocol messages.
+//!
+//! The vocabulary exchanged over the AP↔reflector Bluetooth link and the
+//! AP↔headset side channel. Messages are deliberately small and concrete:
+//! each corresponds to an action the paper's protocol takes.
+
+/// A control-plane message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlMessage {
+    /// AP → reflector: steer the receive and transmit beams (absolute
+    /// bearings, degrees). Used at every step of the alignment sweep and
+    /// when switching to serve the headset.
+    SetReflectorBeams { rx_deg: f64, tx_deg: f64 },
+    /// AP → reflector: command the amplifier gain (dB).
+    SetAmplifierGain { gain_db: f64 },
+    /// AP → reflector: start on/off modulating the amplifier at `freq_hz`
+    /// for the backscatter measurement.
+    StartModulation { freq_hz: f64 },
+    /// AP → reflector: stop modulating (serve data).
+    StopModulation,
+    /// AP → reflector: run the current-sensing gain-control loop now.
+    RunGainControl,
+    /// Reflector → AP: gain control finished; the chosen safe gain.
+    GainControlDone { gain_db: f64 },
+    /// Headset → AP: periodic SNR report (the §4.1 trigger for
+    /// re-measurement when SNR degrades).
+    SnrReport { snr_db: f64 },
+    /// AP → headset: steer the headset's receive beam.
+    SetHeadsetBeam { rx_deg: f64 },
+    /// Either direction: positive acknowledgement of the last command.
+    Ack,
+}
+
+impl ControlMessage {
+    /// Rough on-air size in bytes (for airtime accounting on the slow
+    /// link). All messages fit one BLE data PDU.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            ControlMessage::SetReflectorBeams { .. } => 12,
+            ControlMessage::SetAmplifierGain { .. } => 8,
+            ControlMessage::StartModulation { .. } => 8,
+            ControlMessage::StopModulation => 4,
+            ControlMessage::RunGainControl => 4,
+            ControlMessage::GainControlDone { .. } => 8,
+            ControlMessage::SnrReport { .. } => 8,
+            ControlMessage::SetHeadsetBeam { .. } => 8,
+            ControlMessage::Ack => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_fit_ble_pdu() {
+        let msgs = [
+            ControlMessage::SetReflectorBeams {
+                rx_deg: 90.0,
+                tx_deg: 120.0,
+            },
+            ControlMessage::SetAmplifierGain { gain_db: 22.0 },
+            ControlMessage::StartModulation { freq_hz: 100e3 },
+            ControlMessage::StopModulation,
+            ControlMessage::RunGainControl,
+            ControlMessage::GainControlDone { gain_db: 21.5 },
+            ControlMessage::SnrReport { snr_db: 17.0 },
+            ControlMessage::SetHeadsetBeam { rx_deg: 45.0 },
+            ControlMessage::Ack,
+        ];
+        for m in msgs {
+            assert!(m.size_bytes() <= 27, "{m:?} exceeds a BLE data PDU");
+            assert!(m.size_bytes() >= 2);
+        }
+    }
+
+    #[test]
+    fn equality_carries_payload() {
+        assert_eq!(
+            ControlMessage::SnrReport { snr_db: 1.0 },
+            ControlMessage::SnrReport { snr_db: 1.0 }
+        );
+        assert_ne!(
+            ControlMessage::SnrReport { snr_db: 1.0 },
+            ControlMessage::SnrReport { snr_db: 2.0 }
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! Backscatter beam alignment (§4.1).
+//!
+//! The reflector must aim its receive beam at the AP and its transmit
+//! beam at the headset — but it can neither transmit nor receive, so it
+//! cannot run any standard beam-training handshake. The paper's protocol
+//! delegates measurement to the AP:
+//!
+//! 1. The reflector sets *both* beams to a candidate θ₁ and on/off
+//!    modulates its amplifier at f₂.
+//! 2. The AP sets both of its beams to a candidate θ₂, transmits a tone
+//!    at f₁, and measures the power of the *reflected* tone — which the
+//!    modulation has shifted to f₁+f₂, separating it from the AP's own
+//!    TX→RX leakage at f₁.
+//! 3. The (θ₁, θ₂) pair with the highest sideband power is the alignment:
+//!    θ₁ is the incidence angle at the reflector, θ₂ the AP's bearing to
+//!    the reflector.
+//!
+//! The reflection angle (reflector → headset) is found analogously: the
+//! AP feeds the reflector from the now-known incidence angle, the
+//! reflector sweeps only its transmit beam, and the headset — which *does*
+//! have a receive chain — reports SNR per candidate over the control
+//! channel.
+
+use crate::reflector::MovrReflector;
+use crate::relay::{relay_link, round_trip_reflection_dbm};
+use movr_math::SimRng;
+use movr_phased_array::Codebook;
+use movr_radio::{RadioEndpoint, ToneProbe};
+use movr_rfsim::Scene;
+use movr_sim::SimTime;
+
+/// Alignment-protocol parameters.
+#[derive(Debug, Clone)]
+pub struct AlignmentConfig {
+    /// The AP's beam sweep (θ₂ candidates, absolute bearings).
+    pub ap_codebook: Codebook,
+    /// The reflector's beam sweep (θ₁ candidates, absolute bearings).
+    pub reflector_codebook: Codebook,
+    /// The AP-side tone measurement chain.
+    pub probe: ToneProbe,
+    /// Amplifier gain during probing, dB — a conservative value safely
+    /// below the minimum leakage attenuation so no probe posture can
+    /// saturate the loop.
+    pub probe_gain_db: f64,
+    /// Whether the reflector modulates (true = the paper's protocol;
+    /// false = the ablation that shows why modulation is necessary).
+    pub modulated: bool,
+    /// AP-side dwell per (θ₁, θ₂) measurement.
+    pub dwell: SimTime,
+    /// Control-channel latency to command each reflector beam change.
+    pub beam_command_latency: SimTime,
+}
+
+impl Default for AlignmentConfig {
+    fn default() -> Self {
+        AlignmentConfig {
+            ap_codebook: Codebook::paper_sweep(),
+            reflector_codebook: Codebook::paper_sweep(),
+            probe: ToneProbe::default(),
+            probe_gain_db: 20.0,
+            modulated: true,
+            dwell: SimTime::from_micros(50),
+            beam_command_latency: SimTime::from_micros(7_500),
+        }
+    }
+}
+
+/// The outcome of an alignment sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentResult {
+    /// Best reflector beam (θ₁), absolute bearing in degrees.
+    pub reflector_angle_deg: f64,
+    /// Best AP beam (θ₂), absolute bearing in degrees.
+    pub ap_angle_deg: f64,
+    /// Sideband power at the peak, dBm.
+    pub peak_power_dbm: f64,
+    /// Number of (θ₁, θ₂) measurements taken.
+    pub measurements: usize,
+    /// Wall-clock cost of the sweep.
+    pub elapsed: SimTime,
+}
+
+/// Runs the incidence-angle estimation: full (θ₁ × θ₂) sweep with the
+/// reflector echoing back to the AP.
+///
+/// `ap` and `reflector` are taken by value (the protocol steers them
+/// freely); callers keep their own copies of the operational settings.
+pub fn estimate_incidence(
+    scene: &Scene,
+    mut ap: RadioEndpoint,
+    mut reflector: MovrReflector,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> AlignmentResult {
+    reflector.set_gain_db(config.probe_gain_db);
+    reflector.set_modulating(config.modulated);
+
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    let mut measurements = 0usize;
+
+    for &theta1 in config.reflector_codebook.beams() {
+        reflector.steer_both(theta1);
+        for &theta2 in config.ap_codebook.beams() {
+            ap.steer_to(theta2);
+            let reflected = round_trip_reflection_dbm(scene, &ap, &reflector)
+                .unwrap_or(f64::NEG_INFINITY);
+            let reading = if config.modulated {
+                config
+                    .probe
+                    .measure_modulated(reflected, ap.tx_power_dbm(), rng)
+            } else {
+                config
+                    .probe
+                    .measure_unmodulated(reflected, ap.tx_power_dbm(), rng)
+            };
+            measurements += 1;
+            if reading.power_dbm > best.0 {
+                best = (reading.power_dbm, theta1, theta2);
+            }
+        }
+    }
+
+    let n1 = config.reflector_codebook.len() as u64;
+    let n2 = config.ap_codebook.len() as u64;
+    let elapsed = SimTime::from_nanos(
+        n1 * config.beam_command_latency.as_nanos() + n1 * n2 * config.dwell.as_nanos(),
+    );
+
+    AlignmentResult {
+        reflector_angle_deg: best.1,
+        ap_angle_deg: best.2,
+        peak_power_dbm: best.0,
+        measurements,
+        elapsed,
+    }
+}
+
+/// Two-stage hierarchical incidence estimation: a coarse sweep at
+/// `coarse_step_deg` over the full codebooks locates the peak to within
+/// one coarse cell; a fine 1° sweep over that cell pins it down. Cuts
+/// the measurement count from |θ₁|·|θ₂| to roughly
+/// `(n/c)² + (2c+1)²` — for the paper's 101×101 1° sweep with a 10°
+/// coarse stage, ~121 + 441 measurements instead of 10 201 — at the same
+/// final resolution. (Real 802.11ad beam training is hierarchical for
+/// exactly this reason.)
+pub fn estimate_incidence_hierarchical(
+    scene: &Scene,
+    ap: RadioEndpoint,
+    reflector: MovrReflector,
+    config: &AlignmentConfig,
+    coarse_step_deg: f64,
+    rng: &mut SimRng,
+) -> AlignmentResult {
+    assert!(coarse_step_deg >= 1.0, "coarse step below the fine step");
+    let full_r = config.reflector_codebook.beams();
+    let full_a = config.ap_codebook.beams();
+    let (r_lo, r_hi) = (full_r[0], *full_r.last().expect("non-empty"));
+    let (a_lo, a_hi) = (full_a[0], *full_a.last().expect("non-empty"));
+
+    // Stage 1: coarse.
+    let coarse_cfg = AlignmentConfig {
+        reflector_codebook: Codebook::sweep(r_lo, r_hi, coarse_step_deg),
+        ap_codebook: Codebook::sweep(a_lo, a_hi, coarse_step_deg),
+        ..config.clone()
+    };
+    let coarse = estimate_incidence(scene, ap, reflector.clone(), &coarse_cfg, rng);
+
+    // Stage 2: fine, one coarse cell around the winner (clamped to the
+    // original sweep bounds).
+    let fine_cfg = AlignmentConfig {
+        reflector_codebook: Codebook::sweep(
+            (coarse.reflector_angle_deg - coarse_step_deg).max(r_lo),
+            (coarse.reflector_angle_deg + coarse_step_deg).min(r_hi),
+            1.0,
+        ),
+        ap_codebook: Codebook::sweep(
+            (coarse.ap_angle_deg - coarse_step_deg).max(a_lo),
+            (coarse.ap_angle_deg + coarse_step_deg).min(a_hi),
+            1.0,
+        ),
+        ..config.clone()
+    };
+    let fine = estimate_incidence(scene, ap, reflector, &fine_cfg, rng);
+
+    AlignmentResult {
+        reflector_angle_deg: fine.reflector_angle_deg,
+        ap_angle_deg: fine.ap_angle_deg,
+        peak_power_dbm: fine.peak_power_dbm,
+        measurements: coarse.measurements + fine.measurements,
+        elapsed: coarse.elapsed + fine.elapsed,
+    }
+}
+
+/// The outcome of the reflection-angle (reflector → headset) estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct ReflectionResult {
+    /// Best reflector transmit beam, absolute bearing in degrees.
+    pub tx_angle_deg: f64,
+    /// Best headset receive beam, absolute bearing in degrees.
+    pub headset_angle_deg: f64,
+    /// End-to-end SNR at the peak, dB.
+    pub peak_snr_db: f64,
+    /// Number of measurements taken.
+    pub measurements: usize,
+    /// Wall-clock cost of the sweep.
+    pub elapsed: SimTime,
+}
+
+/// Estimates the reflection angle: the reflector's receive beam stays on
+/// the (already estimated) AP bearing; its transmit beam sweeps
+/// `tx_codebook` while the headset sweeps `headset_codebook` and reports
+/// SNR. SNR reports carry `snr_sigma_db` of measurement noise.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_reflection(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    mut reflector: MovrReflector,
+    mut headset: RadioEndpoint,
+    tx_codebook: &Codebook,
+    headset_codebook: &Codebook,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> ReflectionResult {
+    reflector.set_modulating(false);
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    let mut measurements = 0usize;
+    let snr_sigma_db = 0.5;
+
+    for &tx_deg in tx_codebook.beams() {
+        reflector.steer_tx(tx_deg);
+        // Each beam pair has its own leakage; re-run the §4.2 loop so the
+        // candidate is evaluated at the gain it would actually be served
+        // with.
+        crate::gain_control::run_gain_control(
+            &mut reflector,
+            &crate::gain_control::GainControlConfig::default(),
+        );
+        for &rx_deg in headset_codebook.beams() {
+            headset.steer_to(rx_deg);
+            let budget = relay_link(scene, ap, &reflector, &headset);
+            let reported = budget.end_snr_db + rng.normal(0.0, snr_sigma_db);
+            measurements += 1;
+            if reported > best.0 {
+                best = (reported, tx_deg, rx_deg);
+            }
+        }
+    }
+
+    let n1 = tx_codebook.len() as u64;
+    let n2 = headset_codebook.len() as u64;
+    let elapsed = SimTime::from_nanos(
+        n1 * config.beam_command_latency.as_nanos() + n1 * n2 * config.dwell.as_nanos(),
+    );
+
+    ReflectionResult {
+        tx_angle_deg: best.1,
+        headset_angle_deg: best.2,
+        peak_snr_db: best.0,
+        measurements,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use movr_math::Vec2;
+
+    /// Shortest-arc angular difference, degrees.
+    fn arc(a: f64, b: f64) -> f64 {
+        movr_math::wrap_deg_180(a - b).abs()
+    }
+
+    fn setup() -> (Scene, RadioEndpoint, MovrReflector) {
+        let scene = Scene::paper_office();
+        let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+        let reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 5);
+        (scene, ap, reflector)
+    }
+
+    /// Coarse codebooks keep unit tests fast; the benches run the paper's
+    /// full 1° sweeps. Truth bearings: reflector → AP ≈ −102.5°, AP →
+    /// reflector ≈ 77.5°.
+    fn coarse_config() -> AlignmentConfig {
+        AlignmentConfig {
+            ap_codebook: Codebook::sweep(47.0, 107.0, 3.0),
+            reflector_codebook: Codebook::sweep(-132.0, -72.0, 3.0),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn incidence_estimate_close_to_truth() {
+        let (scene, ap, reflector) = setup();
+        let truth_refl = reflector.position().bearing_deg_to(ap.position());
+        let truth_ap = ap.position().bearing_deg_to(reflector.position());
+        let mut rng = SimRng::seed_from_u64(1);
+        let r = estimate_incidence(&scene, ap, reflector, &coarse_config(), &mut rng);
+        assert!(
+            arc(r.reflector_angle_deg, truth_refl) <= 3.0,
+            "θ1 est {} truth {truth_refl}",
+            r.reflector_angle_deg
+        );
+        assert!(
+            arc(r.ap_angle_deg, truth_ap) <= 3.0,
+            "θ2 est {} truth {truth_ap}",
+            r.ap_angle_deg
+        );
+        assert_eq!(r.measurements, 21 * 21);
+    }
+
+    #[test]
+    fn unmodulated_sweep_fails() {
+        // Without modulation the AP's own leakage swamps the echo and the
+        // argmax is noise — the estimate is effectively random, which is
+        // exactly why §4.1 needs the f₂ modulation.
+        let (scene, ap, reflector) = setup();
+        let truth_refl = reflector.position().bearing_deg_to(ap.position());
+        let cfg = AlignmentConfig {
+            modulated: false,
+            ..coarse_config()
+        };
+        // Across seeds, the unmodulated estimator must be wildly wrong at
+        // least most of the time.
+        let mut gross_errors = 0;
+        for seed in 0..8 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let r = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng);
+            if arc(r.reflector_angle_deg, truth_refl) > 6.0 {
+                gross_errors += 1;
+            }
+        }
+        assert!(gross_errors >= 6, "only {gross_errors}/8 gross errors");
+    }
+
+    #[test]
+    fn elapsed_accounts_for_sweep_size() {
+        let (scene, ap, reflector) = setup();
+        let cfg = coarse_config();
+        let mut rng = SimRng::seed_from_u64(2);
+        let r = estimate_incidence(&scene, ap, reflector, &cfg, &mut rng);
+        let expect = SimTime::from_nanos(
+            21 * cfg.beam_command_latency.as_nanos() + 21 * 21 * cfg.dwell.as_nanos(),
+        );
+        assert_eq!(r.elapsed, expect);
+    }
+
+    #[test]
+    fn reflection_estimate_finds_headset() {
+        let (scene, mut ap, mut reflector) = setup();
+        let hs_pos = Vec2::new(3.5, 1.0);
+        let headset =
+            RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(reflector.position()));
+        // Incidence already known: aim AP and reflector RX at each other.
+        ap.steer_toward(reflector.position());
+        reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));
+
+        let truth_tx = reflector.position().bearing_deg_to(headset.position());
+        let truth_hs = headset.position().bearing_deg_to(reflector.position());
+
+        let tx_cb = Codebook::sweep(truth_tx - 30.0, truth_tx + 30.0, 3.0);
+        let hs_cb = Codebook::sweep(truth_hs - 30.0, truth_hs + 30.0, 3.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        let r = estimate_reflection(
+            &scene,
+            &ap,
+            reflector,
+            headset,
+            &tx_cb,
+            &hs_cb,
+            &AlignmentConfig::default(),
+            &mut rng,
+        );
+        assert!(
+            arc(r.tx_angle_deg, truth_tx) <= 3.0,
+            "tx est {} truth {truth_tx}",
+            r.tx_angle_deg
+        );
+        assert!(
+            arc(r.headset_angle_deg, truth_hs) <= 3.0,
+            "hs est {} truth {truth_hs}",
+            r.headset_angle_deg
+        );
+        assert!(r.peak_snr_db > 15.0);
+    }
+
+    #[test]
+    fn hierarchical_matches_full_sweep_accuracy_far_cheaper() {
+        let (scene, ap, reflector) = setup();
+        let truth = reflector.position().bearing_deg_to(ap.position());
+        let truth_ap = ap.position().bearing_deg_to(reflector.position());
+        // A 1°-resolution config spanning ±20°.
+        let cfg = AlignmentConfig {
+            ap_codebook: Codebook::sweep(truth_ap - 20.0, truth_ap + 20.0, 1.0),
+            reflector_codebook: Codebook::sweep(truth - 20.0, truth + 20.0, 1.0),
+            ..Default::default()
+        };
+        let mut rng1 = SimRng::seed_from_u64(21);
+        let full = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng1);
+        let mut rng2 = SimRng::seed_from_u64(21);
+        let hier =
+            estimate_incidence_hierarchical(&scene, ap, reflector, &cfg, 5.0, &mut rng2);
+
+        assert!(arc(hier.reflector_angle_deg, truth) <= 2.0, "{}", hier.reflector_angle_deg);
+        assert!(arc(hier.ap_angle_deg, truth_ap) <= 2.0);
+        assert!(
+            hier.measurements * 3 < full.measurements,
+            "hier {} vs full {}",
+            hier.measurements,
+            full.measurements
+        );
+        assert!(hier.elapsed < full.elapsed);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (scene, ap, reflector) = setup();
+        let cfg = coarse_config();
+        let mut r1 = SimRng::seed_from_u64(11);
+        let mut r2 = SimRng::seed_from_u64(11);
+        let a = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut r1);
+        let b = estimate_incidence(&scene, ap, reflector, &cfg, &mut r2);
+        assert_eq!(a.reflector_angle_deg, b.reflector_angle_deg);
+        assert_eq!(a.ap_angle_deg, b.ap_angle_deg);
+        assert_eq!(a.peak_power_dbm, b.peak_power_dbm);
+    }
+}

@@ -1,0 +1,268 @@
+//! Physics of the AP → reflector → headset two-hop link.
+//!
+//! MoVR is an *analog* relay: whatever RF lands in its receive beam is
+//! amplified (by the closed-loop gain of the amplify-leak feedback loop)
+//! and re-radiated through the transmit beam. Two consequences the
+//! budgets here capture:
+//!
+//! * When the amplifier saturates (`G ≥ L`) the output is garbage — the
+//!   relayed link delivers **no** signal, not a stronger one.
+//! * The amplifier amplifies its own front-end noise along with the
+//!   signal, so the end-to-end SNR cannot exceed the SNR at the
+//!   reflector's *input*. We model this as
+//!   `SNR_end = min(SNR_hop1, SNR_hop2)` — the standard cascade bound for
+//!   an amplify-and-forward relay.
+
+use crate::reflector::MovrReflector;
+use movr_radio::{ArrayPattern, RadioEndpoint};
+use movr_rfsim::{NoiseModel, Scene};
+
+/// The reflector's analog front end is a low-noise amplifier chain with no
+/// baseband processing: a better noise figure and none of the headset's
+/// implementation loss. Its input SNR — which bounds the end-to-end SNR of
+/// the relayed link — is therefore computed against this model, not the
+/// headset's.
+fn relay_front_end_noise(scene: &Scene) -> NoiseModel {
+    NoiseModel {
+        bandwidth_hz: scene.noise().bandwidth_hz,
+        noise_figure_db: 4.0,
+        implementation_loss_db: 0.0,
+        temperature_k: scene.noise().temperature_k,
+    }
+}
+
+/// The budget of a relayed link.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayBudget {
+    /// Power arriving at the reflector's receive array, dBm.
+    pub hop1_received_dbm: f64,
+    /// SNR at the reflector input, dB.
+    pub hop1_snr_db: f64,
+    /// Power re-radiated by the reflector, dBm (`None` when the amplifier
+    /// is off or saturated).
+    pub relay_output_dbm: Option<f64>,
+    /// Power arriving at the headset, dBm (−∞ when no output).
+    pub hop2_received_dbm: f64,
+    /// SNR of hop 2 alone at the headset, dB.
+    pub hop2_snr_db: f64,
+    /// End-to-end SNR, dB: `min(hop1, hop2)`, −∞ when saturated/off.
+    pub end_snr_db: f64,
+    /// True when the amplifier was saturated at these settings.
+    pub saturated: bool,
+}
+
+/// Evaluates the relayed link with the current beam/gain settings of all
+/// three nodes.
+pub fn relay_link(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    reflector: &MovrReflector,
+    headset: &RadioEndpoint,
+) -> RelayBudget {
+    let hop1 = scene.link_budget(
+        ap.position(),
+        &ArrayPattern(ap.array()),
+        ap.tx_power_dbm(),
+        reflector.position(),
+        &ArrayPattern(reflector.rx_array()),
+    );
+    let hop1_snr_db = relay_front_end_noise(scene).snr_db(hop1.received_dbm);
+
+    let saturated = reflector.is_saturated();
+    let relay_output_dbm = reflector
+        .effective_gain_db()
+        .map(|g| hop1.received_dbm + g);
+
+    match relay_output_dbm {
+        Some(out_dbm) => {
+            let hop2 = scene.link_budget(
+                reflector.position(),
+                &ArrayPattern(reflector.tx_array()),
+                out_dbm,
+                headset.position(),
+                &ArrayPattern(headset.array()),
+            );
+            let hop2_snr_db = scene.noise().snr_db(hop2.received_dbm);
+            RelayBudget {
+                hop1_received_dbm: hop1.received_dbm,
+                hop1_snr_db,
+                relay_output_dbm,
+                hop2_received_dbm: hop2.received_dbm,
+                hop2_snr_db,
+                end_snr_db: hop1_snr_db.min(hop2_snr_db),
+                saturated,
+            }
+        }
+        None => RelayBudget {
+            hop1_received_dbm: hop1.received_dbm,
+            hop1_snr_db,
+            relay_output_dbm: None,
+            hop2_received_dbm: f64::NEG_INFINITY,
+            hop2_snr_db: f64::NEG_INFINITY,
+            end_snr_db: f64::NEG_INFINITY,
+            saturated,
+        },
+    }
+}
+
+/// Round-trip reflection power back at the AP, dBm — what the AP's
+/// backscatter probe measures (before modulation conversion): AP →
+/// reflector (current beams) → amplifier → back toward the AP → AP's
+/// receive array. `None` when the amplifier is off or saturated.
+pub fn round_trip_reflection_dbm(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    reflector: &MovrReflector,
+) -> Option<f64> {
+    let hop1 = scene.link_budget(
+        ap.position(),
+        &ArrayPattern(ap.array()),
+        ap.tx_power_dbm(),
+        reflector.position(),
+        &ArrayPattern(reflector.rx_array()),
+    );
+    let out_dbm = hop1.received_dbm + reflector.effective_gain_db()?;
+    let hop2 = scene.link_budget(
+        reflector.position(),
+        &ArrayPattern(reflector.tx_array()),
+        out_dbm,
+        ap.position(),
+        &ArrayPattern(ap.array()),
+    );
+    Some(hop2.received_dbm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use movr_math::Vec2;
+
+    /// The canonical layout: AP mid-west wall, reflector high on the
+    /// north wall (short AP–reflector hop, both within every array's scan
+    /// range), headset in the south-east play area, everything aimed
+    /// sensibly.
+    fn setup() -> (Scene, RadioEndpoint, MovrReflector, RadioEndpoint) {
+        let scene = Scene::paper_office();
+        let mut ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+        let mut reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 7);
+        let hs_pos = Vec2::new(3.5, 1.5);
+        let mut headset =
+            RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(Vec2::new(1.0, 4.75)));
+
+        ap.steer_toward(reflector.position());
+        let to_ap = reflector.position().bearing_deg_to(ap.position());
+        let to_hs = reflector.position().bearing_deg_to(headset.position());
+        reflector.steer_rx(to_ap);
+        reflector.steer_tx(to_hs);
+        headset.steer_toward(reflector.position());
+
+        // Safe gain: well below the leakage at these beams.
+        let safe = reflector.loop_attenuation_db() - 6.0;
+        reflector.set_gain_db(safe);
+        (scene, ap, reflector, headset)
+    }
+
+    #[test]
+    fn relayed_link_is_vr_grade() {
+        let (scene, ap, reflector, headset) = setup();
+        let b = relay_link(&scene, &ap, &reflector, &headset);
+        assert!(!b.saturated);
+        assert!(b.relay_output_dbm.is_some());
+        assert!(
+            b.end_snr_db > 15.0,
+            "relayed SNR should be VR-grade, got {}",
+            b.end_snr_db
+        );
+    }
+
+    #[test]
+    fn end_snr_is_min_of_hops() {
+        let (scene, ap, reflector, headset) = setup();
+        let b = relay_link(&scene, &ap, &reflector, &headset);
+        assert_eq!(b.end_snr_db, b.hop1_snr_db.min(b.hop2_snr_db));
+    }
+
+    #[test]
+    fn saturated_amplifier_kills_the_link() {
+        let (scene, ap, mut reflector, headset) = setup();
+        reflector.set_gain_db(reflector.amplifier().max_gain_db);
+        // Max gain (48 dB) exceeds the loop attenuation when the antenna
+        // coupling sits near its 35 dB floor (loop ≈ 43 dB), so some beam
+        // pairs saturate at full gain.
+        if reflector.is_saturated() {
+            let b = relay_link(&scene, &ap, &reflector, &headset);
+            assert!(b.saturated);
+            assert_eq!(b.end_snr_db, f64::NEG_INFINITY);
+            assert!(b.relay_output_dbm.is_none());
+        }
+    }
+
+    #[test]
+    fn amplifier_off_kills_the_link() {
+        let (scene, ap, mut reflector, headset) = setup();
+        reflector.set_amplifier_enabled(false);
+        let b = relay_link(&scene, &ap, &reflector, &headset);
+        assert!(!b.saturated);
+        assert_eq!(b.end_snr_db, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn more_gain_more_snr_until_hop1_limits() {
+        let (scene, ap, mut reflector, headset) = setup();
+        let leak = reflector.loop_attenuation_db();
+        let g_low = reflector.set_gain_db(leak - 20.0);
+        let eff_low = reflector.effective_gain_db().unwrap();
+        let low = relay_link(&scene, &ap, &reflector, &headset);
+        let g_high = reflector.set_gain_db(leak - 6.0);
+        let eff_high = reflector.effective_gain_db().unwrap();
+        let high = relay_link(&scene, &ap, &reflector, &headset);
+        assert!(g_high - g_low > 3.0, "gain range too small to test");
+        // hop2 tracks the *effective* (closed-loop) gain difference
+        // exactly — regeneration at the tighter margin included.
+        let delta = high.hop2_snr_db - low.hop2_snr_db;
+        let expected = eff_high - eff_low;
+        assert!(
+            (delta - expected).abs() < 1e-9,
+            "hop2 delta {delta} vs effective gain delta {expected}"
+        );
+        assert!(expected > g_high - g_low, "regeneration must add on top");
+        // hop1 is unaffected by the gain setting.
+        assert!((high.hop1_snr_db - low.hop1_snr_db).abs() < 1e-9);
+        // And the end SNR never exceeds hop1's.
+        assert!(high.end_snr_db <= high.hop1_snr_db + 1e-9);
+    }
+
+    #[test]
+    fn misaimed_reflector_tx_loses_headset() {
+        let (scene, ap, mut reflector, headset) = setup();
+        let aligned = relay_link(&scene, &ap, &reflector, &headset).end_snr_db;
+        let to_hs = reflector.position().bearing_deg_to(headset.position());
+        reflector.steer_tx(to_hs + 40.0);
+        // Re-apply a safe gain for the new beam pair.
+        reflector.set_gain_db(reflector.loop_attenuation_db() - 6.0);
+        let misaimed = relay_link(&scene, &ap, &reflector, &headset).end_snr_db;
+        assert!(aligned - misaimed > 10.0, "aligned={aligned} misaimed={misaimed}");
+    }
+
+    #[test]
+    fn round_trip_reflection_exists_and_tracks_beams() {
+        let (scene, ap, mut reflector, _headset) = setup();
+        // Point both reflector beams back at the AP (probe posture).
+        let to_ap = reflector.position().bearing_deg_to(ap.position());
+        reflector.steer_both(to_ap);
+        reflector.set_gain_db(reflector.loop_attenuation_db() - 6.0);
+        let aimed = round_trip_reflection_dbm(&scene, &ap, &reflector).unwrap();
+        // Swing the beams away: the echo collapses.
+        reflector.steer_both(to_ap + 35.0);
+        reflector.set_gain_db(reflector.loop_attenuation_db() - 6.0);
+        let away = round_trip_reflection_dbm(&scene, &ap, &reflector).unwrap();
+        assert!(aimed - away > 15.0, "aimed={aimed} away={away}");
+    }
+
+    #[test]
+    fn round_trip_none_when_off() {
+        let (scene, ap, mut reflector, _hs) = setup();
+        reflector.set_amplifier_enabled(false);
+        assert!(round_trip_reflection_dbm(&scene, &ap, &reflector).is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! Decibel conversions.
+//!
+//! The whole workspace does link-budget arithmetic in dB (gains, losses,
+//! SNR) and dBm (absolute power). These helpers keep the conversions in one
+//! audited place; getting a factor of 10 vs 20 wrong here would silently
+//! skew every figure.
+
+/// Converts a power *ratio* in dB to a linear power ratio.
+///
+/// `db_to_linear(3.0) ≈ 2.0`, `db_to_linear(-10.0) == 0.1`.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to dB. Returns `-inf` for a zero or
+/// negative ratio (no signal).
+pub fn linear_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Converts a *field* (amplitude/voltage) ratio in dB to linear.
+/// `20·log10` convention: 6 dB ≈ 2×.
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Converts a linear amplitude ratio to dB (`20·log10`).
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    if ratio <= 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        20.0 * ratio.log10()
+    }
+}
+
+/// Converts absolute power in dBm to watts. `0 dBm == 1 mW`.
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    1e-3 * db_to_linear(dbm)
+}
+
+/// Converts absolute power in watts to dBm.
+pub fn watts_to_dbm(watts: f64) -> f64 {
+    linear_to_db(watts / 1e-3)
+}
+
+/// Sums a slice of *incoherent* powers given in dBm, returning dBm.
+///
+/// Used when combining statistically independent signal paths or noise
+/// sources where phases are unknown: powers add linearly.
+pub fn sum_dbm(powers_dbm: &[f64]) -> f64 {
+    let total: f64 = powers_dbm.iter().map(|&p| dbm_to_watts(p)).sum();
+    watts_to_dbm(total)
+}
+
+/// Boltzmann's constant (J/K), used for thermal-noise floors.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Thermal noise power in dBm for a given bandwidth (Hz) at temperature
+/// `temp_k` kelvin: `10·log10(k·T·B / 1mW)`.
+///
+/// At 290 K this is the familiar `-174 dBm/Hz + 10·log10(B)`.
+pub fn thermal_noise_dbm(bandwidth_hz: f64, temp_k: f64) -> f64 {
+    watts_to_dbm(BOLTZMANN * temp_k * bandwidth_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-60.0, -3.01, 0.0, 3.01, 10.0, 25.0] {
+            assert!(close(linear_to_db(db_to_linear(db)), db, 1e-9));
+        }
+    }
+
+    #[test]
+    fn known_points() {
+        assert!(close(db_to_linear(10.0), 10.0, 1e-12));
+        assert!(close(db_to_linear(-10.0), 0.1, 1e-12));
+        assert!(close(db_to_linear(3.0), 1.9952623, 1e-6));
+    }
+
+    #[test]
+    fn amplitude_uses_20log() {
+        assert!(close(db_to_amplitude(20.0), 10.0, 1e-12));
+        assert!(close(amplitude_to_db(2.0), 6.0206, 1e-3));
+    }
+
+    #[test]
+    fn zero_ratio_is_neg_infinity() {
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+        assert_eq!(amplitude_to_db(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dbm_watts_roundtrip() {
+        assert!(close(dbm_to_watts(0.0), 1e-3, 1e-15));
+        assert!(close(dbm_to_watts(30.0), 1.0, 1e-12));
+        assert!(close(watts_to_dbm(1e-3), 0.0, 1e-12));
+        for dbm in [-90.0, -30.0, 0.0, 23.0] {
+            assert!(close(watts_to_dbm(dbm_to_watts(dbm)), dbm, 1e-9));
+        }
+    }
+
+    #[test]
+    fn incoherent_sum() {
+        // Two equal powers add 3.01 dB.
+        assert!(close(sum_dbm(&[0.0, 0.0]), 3.0103, 1e-3));
+        // A much weaker contribution barely moves the total.
+        assert!(close(sum_dbm(&[0.0, -40.0]), 0.00043, 1e-3));
+    }
+
+    #[test]
+    fn thermal_noise_matches_174_rule() {
+        // -174 dBm/Hz at 290 K; over 2.16 GHz (one 802.11ad channel)
+        // the floor is about -80.6 dBm.
+        let n0 = thermal_noise_dbm(1.0, 290.0);
+        assert!(close(n0, -173.98, 0.05));
+        let floor = thermal_noise_dbm(2.16e9, 290.0);
+        assert!(close(floor, -80.63, 0.1));
+    }
+}

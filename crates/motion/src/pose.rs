@@ -1,0 +1,205 @@
+//! Player pose and body-derived obstacles.
+//!
+//! A player is a head-sized obstacle at `center` facing `yaw_deg`. The
+//! headset's mmWave receiver is mounted on the *front* of the head at
+//! [`FACE_OFFSET_M`]; its antenna boresight follows the gaze. The
+//! geometry makes the paper's head-turn blockage automatic: with the AP in
+//! front, the receiver has a clear view past the head; turned away, the
+//! AP→receiver segment passes through the head disc.
+
+use movr_math::Vec2;
+use movr_rfsim::{BodyPart, Obstacle};
+
+/// Distance from head centre to the headset's mmWave receiver, metres.
+/// Slightly beyond the head's diffraction taper (1.6 × 0.10 m radius) so a
+/// player squarely facing the AP is *not* self-blocked.
+pub const FACE_OFFSET_M: f64 = 0.18;
+
+/// Distance from head centre to a raised hand, metres (arm half-extended
+/// in front of the face, as in the paper's hand-blockage experiment).
+pub const HAND_OFFSET_M: f64 = 0.35;
+
+/// The player's instantaneous pose and hand state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlayerState {
+    /// Head centre in the room, metres.
+    pub center: Vec2,
+    /// Gaze direction, degrees CCW from +x.
+    pub yaw_deg: f64,
+    /// True when the hand is raised in front of the face.
+    pub hand_raised: bool,
+}
+
+impl PlayerState {
+    /// A player standing at `center`, facing `yaw_deg`, hands down.
+    pub fn standing(center: Vec2, yaw_deg: f64) -> Self {
+        PlayerState {
+            center,
+            yaw_deg,
+            hand_raised: false,
+        }
+    }
+
+    /// Unit gaze direction.
+    pub fn facing(&self) -> Vec2 {
+        Vec2::unit_from_deg(self.yaw_deg)
+    }
+
+    /// Where the headset's mmWave receiver sits.
+    pub fn receiver_position(&self) -> Vec2 {
+        self.center + self.facing() * FACE_OFFSET_M
+    }
+
+    /// The receiver array's mounting boresight (absolute bearing): it
+    /// looks where the player looks.
+    pub fn receiver_boresight_deg(&self) -> f64 {
+        self.yaw_deg
+    }
+
+    /// Where the raised hand sits (meaningful only when `hand_raised`).
+    pub fn hand_position(&self) -> Vec2 {
+        self.center + self.facing() * HAND_OFFSET_M
+    }
+
+    /// The obstacles this player's own body contributes.
+    pub fn own_obstacles(&self) -> Vec<Obstacle> {
+        let mut v = vec![Obstacle::new(BodyPart::Head, self.center)];
+        if self.hand_raised {
+            v.push(Obstacle::new(BodyPart::Hand, self.hand_position()));
+        }
+        v
+    }
+
+    /// A copy rotated to a new yaw.
+    pub fn with_yaw(&self, yaw_deg: f64) -> PlayerState {
+        PlayerState { yaw_deg, ..*self }
+    }
+
+    /// A copy with the hand raised or lowered.
+    pub fn with_hand(&self, raised: bool) -> PlayerState {
+        PlayerState {
+            hand_raised: raised,
+            ..*self
+        }
+    }
+}
+
+/// Everything that moves in a scenario at one instant: the player plus
+/// third-party obstacles (other people, repositioned furniture).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldState {
+    pub player: PlayerState,
+    pub others: Vec<Obstacle>,
+}
+
+impl WorldState {
+    /// A world containing only the player.
+    pub fn player_only(player: PlayerState) -> Self {
+        WorldState {
+            player,
+            others: Vec::new(),
+        }
+    }
+
+    /// The complete obstacle set for the propagation layer.
+    pub fn all_obstacles(&self) -> Vec<Obstacle> {
+        let mut v = self.player.own_obstacles();
+        v.extend(self.others.iter().copied());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use movr_rfsim::geometry::Segment;
+
+    #[test]
+    fn receiver_sits_in_front_of_face() {
+        let p = PlayerState::standing(Vec2::new(2.0, 2.0), 0.0);
+        let r = p.receiver_position();
+        assert!((r.x - 2.18).abs() < 1e-12);
+        assert!((r.y - 2.0).abs() < 1e-12);
+        assert_eq!(p.receiver_boresight_deg(), 0.0);
+    }
+
+    #[test]
+    fn facing_ap_is_not_self_blocked() {
+        // AP due east; player facing east: the AP→receiver segment must
+        // clear the player's own head entirely.
+        let p = PlayerState::standing(Vec2::new(2.0, 2.0), 0.0);
+        let ap = Vec2::new(4.5, 2.0);
+        let seg = Segment::new(ap, p.receiver_position());
+        let head = &p.own_obstacles()[0];
+        assert_eq!(head.shadow_loss_on(&seg), 0.0);
+    }
+
+    #[test]
+    fn facing_away_is_fully_self_blocked() {
+        let p = PlayerState::standing(Vec2::new(2.0, 2.0), 180.0);
+        let ap = Vec2::new(4.5, 2.0);
+        let seg = Segment::new(ap, p.receiver_position());
+        let head = &p.own_obstacles()[0];
+        assert_eq!(
+            head.shadow_loss_on(&seg),
+            BodyPart::Head.shadow_loss_db()
+        );
+    }
+
+    #[test]
+    fn deep_turn_partially_blocks() {
+        // A 90° glance still clears the head's diffraction taper; by 135°
+        // the AP→receiver segment grazes the head and takes partial loss.
+        let clear = PlayerState::standing(Vec2::new(2.0, 2.0), 90.0);
+        let deep = PlayerState::standing(Vec2::new(2.0, 2.0), 135.0);
+        let ap = Vec2::new(4.5, 2.0);
+        let clear_loss =
+            clear.own_obstacles()[0].shadow_loss_on(&Segment::new(ap, clear.receiver_position()));
+        let deep_loss =
+            deep.own_obstacles()[0].shadow_loss_on(&Segment::new(ap, deep.receiver_position()));
+        assert_eq!(clear_loss, 0.0);
+        assert!(deep_loss > 0.0, "deep turn should graze the path");
+        assert!(deep_loss < BodyPart::Head.shadow_loss_db());
+    }
+
+    #[test]
+    fn raised_hand_blocks_frontal_path() {
+        let p = PlayerState::standing(Vec2::new(2.0, 2.0), 0.0).with_hand(true);
+        let ap = Vec2::new(4.5, 2.0);
+        let seg = Segment::new(ap, p.receiver_position());
+        let obstacles = p.own_obstacles();
+        assert_eq!(obstacles.len(), 2);
+        let total: f64 = obstacles.iter().map(|o| o.shadow_loss_on(&seg)).sum();
+        assert!(
+            total >= BodyPart::Hand.shadow_loss_db(),
+            "raised hand must block: {total}"
+        );
+    }
+
+    #[test]
+    fn hand_down_contributes_nothing() {
+        let p = PlayerState::standing(Vec2::new(2.0, 2.0), 0.0);
+        assert_eq!(p.own_obstacles().len(), 1);
+    }
+
+    #[test]
+    fn world_combines_obstacles() {
+        let p = PlayerState::standing(Vec2::new(1.0, 1.0), 0.0).with_hand(true);
+        let mut w = WorldState::player_only(p);
+        w.others
+            .push(Obstacle::new(BodyPart::Torso, Vec2::new(3.0, 3.0)));
+        let all = w.all_obstacles();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].kind, BodyPart::Torso);
+    }
+
+    #[test]
+    fn with_yaw_preserves_everything_else() {
+        let p = PlayerState::standing(Vec2::new(1.0, 2.0), 10.0)
+            .with_hand(true)
+            .with_yaw(99.0);
+        assert_eq!(p.yaw_deg, 99.0);
+        assert_eq!(p.center, Vec2::new(1.0, 2.0));
+        assert!(p.hand_raised);
+    }
+}

@@ -1,0 +1,138 @@
+//! Beam codebooks for sweep protocols.
+//!
+//! The paper's alignment procedure "tries every possible combination of θ₁
+//! and θ₂ ... with 1 degree increments" (§3, §4.1). A [`Codebook`] is that
+//! finite set of steerable beams; protocols iterate it, and the tracking
+//! optimisation (§6) restricts iteration to a window around a predicted
+//! angle.
+
+use movr_math::wrap_deg_180;
+
+/// A finite, ordered set of beam directions (absolute bearings, degrees).
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    beams: Vec<f64>,
+}
+
+impl Codebook {
+    /// Builds a codebook sweeping `[start, end]` (degrees) inclusive with
+    /// the given step.
+    ///
+    /// # Panics
+    /// Panics if `step <= 0` or `end < start`.
+    pub fn sweep(start_deg: f64, end_deg: f64, step_deg: f64) -> Self {
+        Codebook {
+            beams: movr_math::angle::sweep_deg(start_deg, end_deg, step_deg),
+        }
+    }
+
+    /// The paper's sweep: 40°–140° at 1° — the range of Figs. 7 and 8.
+    pub fn paper_sweep() -> Self {
+        Codebook::sweep(40.0, 140.0, 1.0)
+    }
+
+    /// Builds a codebook from explicit beam directions.
+    pub fn from_beams(beams: Vec<f64>) -> Self {
+        assert!(!beams.is_empty(), "codebook must contain at least one beam");
+        Codebook { beams }
+    }
+
+    /// Number of beams.
+    pub fn len(&self) -> usize {
+        self.beams.len()
+    }
+
+    /// True if the codebook is empty (only possible via `sweep` misuse;
+    /// `from_beams` rejects empties).
+    pub fn is_empty(&self) -> bool {
+        self.beams.is_empty()
+    }
+
+    /// The beam directions in sweep order.
+    pub fn beams(&self) -> &[f64] {
+        &self.beams
+    }
+
+    /// The beam nearest (shortest arc) to `target_deg`, as
+    /// `(index, beam_deg)`.
+    pub fn nearest(&self, target_deg: f64) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, &b) in self.beams.iter().enumerate() {
+            let d = wrap_deg_180(b - target_deg).abs();
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        (best.0, self.beams[best.0])
+    }
+
+    /// A sub-codebook of beams within ±`window_deg` of `center_deg` —
+    /// the tracking-assisted narrow sweep of §6.
+    pub fn window(&self, center_deg: f64, window_deg: f64) -> Codebook {
+        let beams: Vec<f64> = self
+            .beams
+            .iter()
+            .copied()
+            .filter(|&b| wrap_deg_180(b - center_deg).abs() <= window_deg)
+            .collect();
+        if beams.is_empty() {
+            // Degenerate window: fall back to the single nearest beam so a
+            // sweep over the result is never a no-op.
+            let (_, b) = self.nearest(center_deg);
+            Codebook { beams: vec![b] }
+        } else {
+            Codebook { beams }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_is_101_beams() {
+        let cb = Codebook::paper_sweep();
+        assert_eq!(cb.len(), 101);
+        assert_eq!(cb.beams()[0], 40.0);
+        assert_eq!(*cb.beams().last().unwrap(), 140.0);
+    }
+
+    #[test]
+    fn nearest_beam() {
+        let cb = Codebook::paper_sweep();
+        assert_eq!(cb.nearest(72.3), (32, 72.0));
+        assert_eq!(cb.nearest(72.6), (33, 73.0));
+        // Clamps at the edges.
+        assert_eq!(cb.nearest(0.0).1, 40.0);
+        assert_eq!(cb.nearest(179.0).1, 140.0);
+    }
+
+    #[test]
+    fn window_restricts_sweep() {
+        let cb = Codebook::paper_sweep();
+        let w = cb.window(90.0, 5.0);
+        assert_eq!(w.len(), 11);
+        assert!(w.beams().iter().all(|&b| (b - 90.0).abs() <= 5.0));
+    }
+
+    #[test]
+    fn empty_window_falls_back_to_nearest() {
+        let cb = Codebook::sweep(40.0, 140.0, 10.0);
+        let w = cb.window(44.9, 0.5);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.beams()[0], 40.0);
+    }
+
+    #[test]
+    fn from_beams_preserves_order() {
+        let cb = Codebook::from_beams(vec![100.0, 40.0, 70.0]);
+        assert_eq!(cb.beams(), &[100.0, 40.0, 70.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one beam")]
+    fn empty_from_beams_rejected() {
+        Codebook::from_beams(vec![]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Rate adaptation.
+//!
+//! The paper converts SNR to rate through the standard tables; a real
+//! link must *choose* an MCS from noisy SNR estimates, and the choice
+//! policy affects how gracefully the link rides through partial blockage
+//! (the taper region of a hand entering the beam). Three policies:
+//!
+//! * [`SnrThreshold`] — pick the highest MCS whose threshold the current
+//!   SNR estimate clears, minus a safety backoff. Memoryless.
+//! * [`Hysteresis`] — the same, but an MCS change requires the SNR to
+//!   cross the boundary by a margin and stay there for several reports,
+//!   suppressing flapping at scenario edges.
+//! * [`Oracle`] — picks from the true SNR (upper bound for comparisons).
+
+use crate::mcs::{McsEntry, RateTable};
+
+/// A rate-adaptation policy consuming periodic SNR reports.
+pub trait RateAdapter {
+    /// Feeds one SNR report and returns the MCS to use next
+    /// (`None` = link outage, don't transmit).
+    fn on_snr_report(&mut self, snr_db: f64) -> Option<&'static McsEntry>;
+
+    /// The currently selected MCS.
+    fn current(&self) -> Option<&'static McsEntry>;
+}
+
+/// Threshold selection with a fixed safety backoff.
+#[derive(Debug, Clone)]
+pub struct SnrThreshold {
+    table: RateTable,
+    /// Safety margin subtracted from reports before lookup, dB.
+    pub backoff_db: f64,
+    current: Option<&'static McsEntry>,
+}
+
+impl SnrThreshold {
+    /// Creates the policy with the given backoff.
+    pub fn new(backoff_db: f64) -> Self {
+        SnrThreshold {
+            table: RateTable,
+            backoff_db,
+            current: None,
+        }
+    }
+}
+
+impl RateAdapter for SnrThreshold {
+    fn on_snr_report(&mut self, snr_db: f64) -> Option<&'static McsEntry> {
+        self.current = self.table.best_mcs(snr_db - self.backoff_db);
+        self.current
+    }
+    fn current(&self) -> Option<&'static McsEntry> {
+        self.current
+    }
+}
+
+/// Threshold selection with hysteresis: upgrades need `up_margin_db`
+/// above the next rung's threshold sustained for `up_count` consecutive
+/// reports; downgrades are immediate (losing frames is worse than losing
+/// rate).
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    table: RateTable,
+    pub up_margin_db: f64,
+    pub up_count: usize,
+    pub backoff_db: f64,
+    current: Option<&'static McsEntry>,
+    up_streak: usize,
+}
+
+impl Hysteresis {
+    /// Creates the policy. Typical: 1 dB margin, 3 reports, 1 dB backoff.
+    pub fn new(up_margin_db: f64, up_count: usize, backoff_db: f64) -> Self {
+        assert!(up_count >= 1, "up_count must be at least 1");
+        Hysteresis {
+            table: RateTable,
+            up_margin_db,
+            up_count,
+            backoff_db,
+            current: None,
+            up_streak: 0,
+        }
+    }
+
+    fn index_of(mcs: Option<&'static McsEntry>) -> Option<usize> {
+        mcs.map(|m| m.index)
+    }
+}
+
+impl RateAdapter for Hysteresis {
+    fn on_snr_report(&mut self, snr_db: f64) -> Option<&'static McsEntry> {
+        let snr = snr_db - self.backoff_db;
+        let ideal = self.table.best_mcs(snr);
+
+        match (Self::index_of(self.current), Self::index_of(ideal)) {
+            // Outage or downgrade: take it immediately.
+            (_, None) => {
+                self.current = None;
+                self.up_streak = 0;
+            }
+            (None, Some(_)) => {
+                // Coming out of outage: join at the ideal rung directly.
+                self.current = ideal;
+                self.up_streak = 0;
+            }
+            (Some(cur), Some(want)) if want < cur => {
+                self.current = ideal;
+                self.up_streak = 0;
+            }
+            (Some(cur), Some(want)) if want > cur => {
+                // Upgrade only with sustained margin above the next rung.
+                let next = &self.table.entries()[cur + 1];
+                if snr >= next.min_snr_db + self.up_margin_db {
+                    self.up_streak += 1;
+                    if self.up_streak >= self.up_count {
+                        self.current = Some(next);
+                        self.up_streak = 0;
+                    }
+                } else {
+                    self.up_streak = 0;
+                }
+            }
+            _ => {
+                self.up_streak = 0;
+            }
+        }
+        self.current
+    }
+    fn current(&self) -> Option<&'static McsEntry> {
+        self.current
+    }
+}
+
+/// Oracle policy: exact lookup on the true SNR, no backoff.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    current: Option<&'static McsEntry>,
+}
+
+impl RateAdapter for Oracle {
+    fn on_snr_report(&mut self, snr_db: f64) -> Option<&'static McsEntry> {
+        self.current = RateTable.best_mcs(snr_db);
+        self.current
+    }
+    fn current(&self) -> Option<&'static McsEntry> {
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_tracks_snr() {
+        let mut a = SnrThreshold::new(0.0);
+        assert_eq!(a.on_snr_report(25.0).unwrap().rate_mbps, 6756.75);
+        assert_eq!(a.on_snr_report(12.5).unwrap().index, 10);
+        assert!(a.on_snr_report(-5.0).is_none());
+    }
+
+    #[test]
+    fn backoff_is_conservative() {
+        let mut plain = SnrThreshold::new(0.0);
+        let mut safe = SnrThreshold::new(2.0);
+        let p = plain.on_snr_report(20.5).unwrap();
+        let s = safe.on_snr_report(20.5).unwrap();
+        assert!(s.rate_mbps < p.rate_mbps);
+    }
+
+    #[test]
+    fn hysteresis_downgrades_immediately() {
+        let mut h = Hysteresis::new(1.0, 3, 0.0);
+        h.on_snr_report(25.0);
+        assert_eq!(h.current().unwrap().index, 15);
+        // One bad report drops the rate at once (10.0 dB decodes MCS 8,
+        // whose threshold is 9.5; MCS 9 needs 10.5).
+        h.on_snr_report(10.0);
+        assert_eq!(h.current().unwrap().index, 8);
+    }
+
+    #[test]
+    fn hysteresis_upgrades_slowly() {
+        let mut h = Hysteresis::new(1.0, 3, 0.0);
+        h.on_snr_report(10.0); // index 9 (10.5 needs more) -> actually 8
+        let start = h.current().unwrap().index;
+        // SNR recovers to 25: the ideal is the top, but we climb one rung
+        // per 3 sustained reports.
+        for _ in 0..3 {
+            h.on_snr_report(25.0);
+        }
+        assert_eq!(h.current().unwrap().index, start + 1);
+        for _ in 0..3 {
+            h.on_snr_report(25.0);
+        }
+        assert_eq!(h.current().unwrap().index, start + 2);
+    }
+
+    #[test]
+    fn hysteresis_streak_resets_on_dip() {
+        let mut h = Hysteresis::new(1.0, 3, 0.0);
+        h.on_snr_report(12.0);
+        let start = h.current().unwrap().index;
+        h.on_snr_report(25.0);
+        h.on_snr_report(25.0);
+        h.on_snr_report(12.0); // dip resets the streak (same rung keeps)
+        h.on_snr_report(25.0);
+        h.on_snr_report(25.0);
+        assert_eq!(h.current().unwrap().index, start, "streak must reset");
+        h.on_snr_report(25.0);
+        assert_eq!(h.current().unwrap().index, start + 1);
+    }
+
+    #[test]
+    fn hysteresis_joins_from_outage_directly() {
+        let mut h = Hysteresis::new(1.0, 3, 0.0);
+        assert!(h.on_snr_report(-5.0).is_none());
+        let m = h.on_snr_report(18.5).unwrap();
+        assert_eq!(m.index, 14, "no rung-by-rung climb out of outage");
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        let mut o = Oracle::default();
+        assert_eq!(o.on_snr_report(20.0).unwrap().rate_mbps, 6756.75);
+        assert_eq!(o.on_snr_report(19.99).unwrap().index, 14);
+    }
+
+    #[test]
+    fn flapping_snr_flaps_threshold_but_not_hysteresis() {
+        // SNR oscillating across an MCS boundary.
+        let reports = [15.2, 14.8, 15.2, 14.8, 15.2, 14.8];
+        let mut t = SnrThreshold::new(0.0);
+        let mut h = Hysteresis::new(1.0, 3, 0.0);
+        let mut t_changes = 0;
+        let mut h_changes = 0;
+        let mut t_prev = None;
+        let mut h_prev = None;
+        for &s in &reports {
+            let tc = t.on_snr_report(s).map(|m| m.index);
+            let hc = h.on_snr_report(s).map(|m| m.index);
+            if t_prev.is_some() && Some(tc) != t_prev {
+                t_changes += 1;
+            }
+            if h_prev.is_some() && Some(hc) != h_prev {
+                h_changes += 1;
+            }
+            t_prev = Some(tc);
+            h_prev = Some(hc);
+        }
+        assert!(t_changes >= 4, "threshold policy should flap: {t_changes}");
+        assert!(h_changes <= 1, "hysteresis should hold: {h_changes}");
+    }
+}

@@ -1,0 +1,168 @@
+//! The backscatter tone probe (§4.1).
+//!
+//! During beam alignment the AP transmits a sinewave at f₁ while the
+//! reflector toggles its amplifier on/off at f₂. The reflected signal is
+//! thereby modulated: its energy moves to sidebands at f₁ ± f₂, while the
+//! AP's own TX→RX leakage stays at f₁. A bandpass filter at f₁ + f₂ then
+//! reads the *reflected* power essentially free of the (much stronger)
+//! leakage — the measurement the whole alignment protocol is built on.
+//!
+//! The model accounts for:
+//! * **Modulation conversion loss** — a 50 % duty square-wave modulator
+//!   puts only part of the reflected power into the first sideband
+//!   (≈7 dB below the unmodulated carrier).
+//! * **AP self-leakage** — TX couples into RX at `ap_coupling_db` below
+//!   transmit power; the filter suppresses it by `filter_rejection_db`,
+//!   leaving a residual that can still swamp a weak reflection.
+//! * **A narrowband noise floor and log-normal measurement jitter.**
+
+use movr_math::db::sum_dbm;
+use movr_math::SimRng;
+
+/// One sideband power reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToneMeasurement {
+    /// Power measured in the f₁+f₂ filter, dBm.
+    pub power_dbm: f64,
+}
+
+/// The AP-side measurement chain for the backscatter protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ToneProbe {
+    /// AP TX→RX antenna coupling, dB below transmit power.
+    pub ap_coupling_db: f64,
+    /// Filter rejection of the f₁ leakage at the f₁+f₂ sideband, dB.
+    pub filter_rejection_db: f64,
+    /// Conversion loss from reflected carrier into the first sideband, dB.
+    pub modulation_loss_db: f64,
+    /// Narrowband measurement noise floor, dBm.
+    pub noise_floor_dbm: f64,
+    /// RMS measurement jitter, dB.
+    pub sigma_db: f64,
+}
+
+impl Default for ToneProbe {
+    fn default() -> Self {
+        ToneProbe {
+            ap_coupling_db: 45.0,
+            filter_rejection_db: 60.0,
+            modulation_loss_db: 7.0,
+            noise_floor_dbm: -95.0,
+            sigma_db: 0.5,
+        }
+    }
+}
+
+impl ToneProbe {
+    /// The AP's self-leakage power at its receiver, dBm.
+    pub fn ap_leakage_dbm(&self, tx_power_dbm: f64) -> f64 {
+        tx_power_dbm - self.ap_coupling_db
+    }
+
+    /// Measures the f₁+f₂ sideband with the reflector *modulating*.
+    ///
+    /// `reflected_carrier_dbm` is the power of the round-trip reflection
+    /// arriving back at the AP with the reflector's amplifier continuously
+    /// on; modulation shifts it into the sideband at a conversion loss.
+    /// The leakage contributes only its filtered residual.
+    pub fn measure_modulated(
+        &self,
+        reflected_carrier_dbm: f64,
+        tx_power_dbm: f64,
+        rng: &mut SimRng,
+    ) -> ToneMeasurement {
+        let sideband = reflected_carrier_dbm - self.modulation_loss_db;
+        let residual_leak = self.ap_leakage_dbm(tx_power_dbm) - self.filter_rejection_db;
+        let total = sum_dbm(&[sideband, residual_leak, self.noise_floor_dbm]);
+        ToneMeasurement {
+            power_dbm: total + rng.normal(0.0, self.sigma_db),
+        }
+    }
+
+    /// Measures at f₁ with the reflector *not* modulating — the ablation
+    /// case. The AP's own leakage lands in-band at full strength and
+    /// swamps the reflection, which is why the paper needs modulation.
+    pub fn measure_unmodulated(
+        &self,
+        reflected_carrier_dbm: f64,
+        tx_power_dbm: f64,
+        rng: &mut SimRng,
+    ) -> ToneMeasurement {
+        let leak = self.ap_leakage_dbm(tx_power_dbm);
+        let total = sum_dbm(&[reflected_carrier_dbm, leak, self.noise_floor_dbm]);
+        ToneMeasurement {
+            power_dbm: total + rng.normal(0.0, self.sigma_db),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(99)
+    }
+
+    fn quiet_probe() -> ToneProbe {
+        ToneProbe {
+            sigma_db: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn strong_reflection_dominates_modulated_reading() {
+        let p = quiet_probe();
+        let m = p.measure_modulated(-50.0, 10.0, &mut rng());
+        // Sideband = -57 dBm; residual leak = 10-45-60 = -95 dBm; floor -95.
+        assert!((m.power_dbm - (-57.0)).abs() < 0.1, "m={}", m.power_dbm);
+    }
+
+    #[test]
+    fn modulated_reading_tracks_reflection_changes() {
+        // A 10 dB change in reflected power moves the reading ~10 dB —
+        // this is what lets the AP rank beam combinations.
+        let p = quiet_probe();
+        let hi = p.measure_modulated(-50.0, 10.0, &mut rng()).power_dbm;
+        let lo = p.measure_modulated(-60.0, 10.0, &mut rng()).power_dbm;
+        assert!((hi - lo - 10.0).abs() < 0.5, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn unmodulated_reading_is_leakage_blind() {
+        // Without modulation the reading barely moves when the reflection
+        // changes: leakage at -35 dBm dominates both cases.
+        let p = quiet_probe();
+        let hi = p.measure_unmodulated(-50.0, 10.0, &mut rng()).power_dbm;
+        let lo = p.measure_unmodulated(-60.0, 10.0, &mut rng()).power_dbm;
+        assert!((hi - lo).abs() < 0.2, "hi={hi} lo={lo}");
+        // And the absolute level is essentially the leakage.
+        assert!((hi - (-35.0)).abs() < 0.3, "hi={hi}");
+    }
+
+    #[test]
+    fn weak_reflection_bottoms_out_at_floor() {
+        let p = quiet_probe();
+        let m = p.measure_modulated(-130.0, 10.0, &mut rng());
+        // Sideband -137 dBm is far below the floor; the reading is the sum
+        // of the -95 dBm residual leak and the -95 dBm floor (≈ -92 dBm).
+        assert!(m.power_dbm > -93.5 && m.power_dbm < -91.0, "m={}", m.power_dbm);
+    }
+
+    #[test]
+    fn jitter_is_applied() {
+        let p = ToneProbe::default();
+        let mut r = rng();
+        let a = p.measure_modulated(-50.0, 10.0, &mut r).power_dbm;
+        let b = p.measure_modulated(-50.0, 10.0, &mut r).power_dbm;
+        assert_ne!(a, b);
+        assert!((a - b).abs() < 5.0);
+    }
+
+    #[test]
+    fn ap_leakage_level() {
+        let p = ToneProbe::default();
+        assert_eq!(p.ap_leakage_dbm(10.0), -35.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is a monotonic instant measured in integer nanoseconds from
+//! the simulation epoch. Integer nanoseconds make event ordering exact
+//! (no float-comparison ties) while still resolving the sub-microsecond
+//! beam-steering latencies the paper cares about (§6).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A simulated instant, in nanoseconds since the epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds (fractional allowed).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "time must be non-negative");
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self − earlier`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, delta: SimTime) -> Option<SimTime> {
+        self.0.checked_add(delta.0).map(SimTime)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    /// Panics when `rhs` is later than `self` — use
+    /// [`SimTime::saturating_since`] where underflow is expected.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A fixed-interval schedule: yields `start`, `start+period`, … — the
+/// 90 Hz VR frame clock, control-poll timers, and motion-trace sampling
+/// all use one of these.
+#[derive(Debug, Clone, Copy)]
+pub struct Periodic {
+    next: SimTime,
+    period: SimTime,
+}
+
+impl Periodic {
+    /// Creates a schedule beginning at `start` with the given period.
+    ///
+    /// # Panics
+    /// Panics on a zero period (the event loop would never advance).
+    pub fn new(start: SimTime, period: SimTime) -> Self {
+        assert!(period > SimTime::ZERO, "period must be positive");
+        Periodic {
+            next: start,
+            period,
+        }
+    }
+
+    /// The next instant the schedule will fire (without consuming it).
+    pub fn peek(&self) -> SimTime {
+        self.next
+    }
+
+    /// The period.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+
+    /// Consumes and returns the next instant, advancing the schedule.
+    pub fn tick(&mut self) -> SimTime {
+        let t = self.next;
+        self.next += self.period;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_millis(1), SimTime::from_nanos(1_000_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((SimTime::from_millis(11).as_secs_f64() - 0.011).abs() < 1e-12);
+        assert!((SimTime::from_millis(11).as_millis_f64() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(11);
+        assert!(a < b);
+        assert_eq!(a, SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(3);
+        assert_eq!(a + b, SimTime::from_millis(8));
+        assert_eq!(a - b, SimTime::from_millis(2));
+        assert_eq!(b.saturating_since(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_millis(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_rejected() {
+        SimTime::from_secs_f64(-0.1);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_nanos(500)), "500ns");
+        assert_eq!(format!("{}", SimTime::from_micros(2)), "2.000µs");
+        assert_eq!(format!("{}", SimTime::from_millis(11)), "11.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs_f64(2.5)), "2.500s");
+    }
+
+    #[test]
+    fn periodic_ticks() {
+        let mut p = Periodic::new(SimTime::ZERO, SimTime::from_millis(11));
+        assert_eq!(p.peek(), SimTime::ZERO);
+        assert_eq!(p.tick(), SimTime::ZERO);
+        assert_eq!(p.tick(), SimTime::from_millis(11));
+        assert_eq!(p.tick(), SimTime::from_millis(22));
+        assert_eq!(p.peek(), SimTime::from_millis(33));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_rejected() {
+        Periodic::new(SimTime::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
+    fn checked_add_at_boundary() {
+        assert!(SimTime::from_nanos(u64::MAX)
+            .checked_add(SimTime::from_nanos(1))
+            .is_none());
+        assert_eq!(
+            SimTime::from_nanos(1).checked_add(SimTime::from_nanos(2)),
+            Some(SimTime::from_nanos(3))
+        );
+    }
+}

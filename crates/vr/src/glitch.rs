@@ -1,0 +1,147 @@
+//! Frame-delivery and glitch accounting.
+//!
+//! VR traffic is non-elastic: a frame that misses its refresh is a visible
+//! glitch, and consecutive misses are a *stall* the player experiences as
+//! the world freezing. [`GlitchTracker`] consumes per-frame outcomes from
+//! the session simulation and reports the player-facing quality metrics
+//! the paper argues about qualitatively.
+
+/// Per-session delivery report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlitchReport {
+    /// Frames the source generated.
+    pub frames_total: usize,
+    /// Frames delivered on time.
+    pub frames_delivered: usize,
+    /// Distinct glitch events (each run of ≥1 consecutive misses).
+    pub glitch_events: usize,
+    /// Longest run of consecutive missed frames.
+    pub longest_stall_frames: usize,
+    /// Fraction of frames missed, `0.0..=1.0`.
+    pub loss_rate: f64,
+}
+
+impl GlitchReport {
+    /// Longest stall in milliseconds at a given refresh rate.
+    pub fn longest_stall_ms(&self, refresh_hz: f64) -> f64 {
+        self.longest_stall_frames as f64 * 1000.0 / refresh_hz
+    }
+}
+
+/// Streaming tracker of frame outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct GlitchTracker {
+    total: usize,
+    delivered: usize,
+    events: usize,
+    current_stall: usize,
+    longest_stall: usize,
+}
+
+impl GlitchTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one frame outcome.
+    pub fn record(&mut self, delivered: bool) {
+        self.total += 1;
+        if delivered {
+            self.delivered += 1;
+            self.current_stall = 0;
+        } else {
+            if self.current_stall == 0 {
+                self.events += 1;
+            }
+            self.current_stall += 1;
+            self.longest_stall = self.longest_stall.max(self.current_stall);
+        }
+    }
+
+    /// Frames seen so far.
+    pub fn frames_total(&self) -> usize {
+        self.total
+    }
+
+    /// The report so far.
+    pub fn report(&self) -> GlitchReport {
+        GlitchReport {
+            frames_total: self.total,
+            frames_delivered: self.delivered,
+            glitch_events: self.events,
+            longest_stall_frames: self.longest_stall,
+            loss_rate: if self.total == 0 {
+                0.0
+            } else {
+                (self.total - self.delivered) as f64 / self.total as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(pattern: &[bool]) -> GlitchReport {
+        let mut t = GlitchTracker::new();
+        for &d in pattern {
+            t.record(d);
+        }
+        t.report()
+    }
+
+    #[test]
+    fn perfect_session() {
+        let r = feed(&[true; 100]);
+        assert_eq!(r.frames_total, 100);
+        assert_eq!(r.frames_delivered, 100);
+        assert_eq!(r.glitch_events, 0);
+        assert_eq!(r.longest_stall_frames, 0);
+        assert_eq!(r.loss_rate, 0.0);
+    }
+
+    #[test]
+    fn single_miss_is_one_event() {
+        let r = feed(&[true, true, false, true, true]);
+        assert_eq!(r.glitch_events, 1);
+        assert_eq!(r.longest_stall_frames, 1);
+        assert!((r.loss_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consecutive_misses_are_one_event() {
+        let r = feed(&[true, false, false, false, true]);
+        assert_eq!(r.glitch_events, 1);
+        assert_eq!(r.longest_stall_frames, 3);
+    }
+
+    #[test]
+    fn separated_misses_are_separate_events() {
+        let r = feed(&[false, true, false, true, false]);
+        assert_eq!(r.glitch_events, 3);
+        assert_eq!(r.longest_stall_frames, 1);
+    }
+
+    #[test]
+    fn longest_stall_tracks_maximum() {
+        let r = feed(&[false, false, true, false, false, false, true, false]);
+        assert_eq!(r.longest_stall_frames, 3);
+        assert_eq!(r.glitch_events, 3);
+    }
+
+    #[test]
+    fn stall_milliseconds_at_90hz() {
+        let r = feed(&[false, false, false]);
+        let ms = r.longest_stall_ms(90.0);
+        assert!((ms - 33.33).abs() < 0.01, "ms={ms}");
+    }
+
+    #[test]
+    fn empty_session_is_clean() {
+        let r = GlitchTracker::new().report();
+        assert_eq!(r.frames_total, 0);
+        assert_eq!(r.loss_rate, 0.0);
+    }
+}

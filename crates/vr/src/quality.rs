@@ -1,0 +1,157 @@
+//! Player-facing experience quality.
+//!
+//! Frame statistics are engineering numbers; what matters to the player
+//! is whether the session feels *solid*. This module maps a
+//! [`GlitchReport`] to a quality grade using
+//! thresholds from the VR comfort literature the paper's motivation
+//! leans on: sustained 90 Hz feels native; occasional single-frame drops
+//! are barely visible; multi-frame stalls break presence; frequent
+//! stalls (or >1 % loss) make sessions nauseating.
+
+use crate::glitch::GlitchReport;
+
+/// A coarse experience grade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum QualityGrade {
+    /// Unusable: the player takes the headset off.
+    Unplayable,
+    /// Frequent visible interruptions.
+    Poor,
+    /// Noticeable but tolerable hitches.
+    Fair,
+    /// Rare, minor hitches.
+    Good,
+    /// Indistinguishable from a cable.
+    Excellent,
+}
+
+/// Thresholds for grading a session.
+#[derive(Debug, Clone, Copy)]
+pub struct QualityModel {
+    /// Loss rate above which the session is unplayable.
+    pub unplayable_loss: f64,
+    /// Loss rate above which the session is poor.
+    pub poor_loss: f64,
+    /// Stall length (frames) that alone demotes a session below Good.
+    pub stall_limit_frames: usize,
+    /// Glitch events per minute above which the session is at most Fair.
+    pub events_per_minute_limit: f64,
+}
+
+impl Default for QualityModel {
+    fn default() -> Self {
+        QualityModel {
+            unplayable_loss: 0.10,
+            poor_loss: 0.02,
+            stall_limit_frames: 9, // 100 ms at 90 Hz
+            events_per_minute_limit: 6.0,
+        }
+    }
+}
+
+impl QualityModel {
+    /// Grades a session of `duration_s` seconds.
+    pub fn grade(&self, report: &GlitchReport, duration_s: f64) -> QualityGrade {
+        assert!(duration_s > 0.0, "duration must be positive");
+        if report.loss_rate >= self.unplayable_loss {
+            return QualityGrade::Unplayable;
+        }
+        let events_per_minute = report.glitch_events as f64 * 60.0 / duration_s;
+        if report.loss_rate >= self.poor_loss {
+            return QualityGrade::Poor;
+        }
+        if report.longest_stall_frames > self.stall_limit_frames
+            || events_per_minute > self.events_per_minute_limit
+        {
+            return QualityGrade::Fair;
+        }
+        if report.glitch_events > 0 {
+            return QualityGrade::Good;
+        }
+        QualityGrade::Excellent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glitch::GlitchTracker;
+
+    fn report(pattern: &[bool]) -> GlitchReport {
+        let mut t = GlitchTracker::new();
+        for &d in pattern {
+            t.record(d);
+        }
+        t.report()
+    }
+
+    #[test]
+    fn perfect_is_excellent() {
+        let r = report(&[true; 900]);
+        assert_eq!(QualityModel::default().grade(&r, 10.0), QualityGrade::Excellent);
+    }
+
+    #[test]
+    fn single_short_hitch_is_good() {
+        let mut p = vec![true; 900];
+        p[450] = false;
+        let r = report(&p);
+        assert_eq!(QualityModel::default().grade(&r, 10.0), QualityGrade::Good);
+    }
+
+    #[test]
+    fn long_stall_is_fair_at_best() {
+        let mut p = vec![true; 900];
+        for slot in p.iter_mut().skip(400).take(12) {
+            *slot = false; // 133 ms freeze
+        }
+        let r = report(&p);
+        assert_eq!(QualityModel::default().grade(&r, 10.0), QualityGrade::Fair);
+    }
+
+    #[test]
+    fn frequent_events_are_fair() {
+        // 12 separate one-frame hitches in 10 s = 72/min.
+        let mut p = vec![true; 900];
+        for k in 0..12 {
+            p[k * 70 + 5] = false;
+        }
+        let r = report(&p);
+        assert_eq!(QualityModel::default().grade(&r, 10.0), QualityGrade::Fair);
+    }
+
+    #[test]
+    fn heavy_loss_is_poor_then_unplayable() {
+        // ~4.4% loss → Poor.
+        let mut p = vec![true; 900];
+        for slot in p.iter_mut().skip(200).take(40) {
+            *slot = false;
+        }
+        let r = report(&p);
+        assert_eq!(QualityModel::default().grade(&r, 10.0), QualityGrade::Poor);
+        // ~22% loss → Unplayable.
+        let mut p = vec![true; 900];
+        for slot in p.iter_mut().skip(100).take(200) {
+            *slot = false;
+        }
+        let r = report(&p);
+        assert_eq!(
+            QualityModel::default().grade(&r, 10.0),
+            QualityGrade::Unplayable
+        );
+    }
+
+    #[test]
+    fn grades_order() {
+        assert!(QualityGrade::Excellent > QualityGrade::Good);
+        assert!(QualityGrade::Good > QualityGrade::Fair);
+        assert!(QualityGrade::Fair > QualityGrade::Poor);
+        assert!(QualityGrade::Poor > QualityGrade::Unplayable);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_rejected() {
+        QualityModel::default().grade(&report(&[true]), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Install day: what happens when you stick a MoVR reflector to the wall.
+//!
+//! Runs the full §4.1 installation — pairing, modulated backscatter
+//! sweep, gain control — over the *real* Bluetooth-class control link
+//! (latency, jitter, 1 % loss, stop-and-wait retries) and prints the
+//! installer-facing report. Then repeats it over a badly lossy link to
+//! show the protocol riding through.
+//!
+//! ```sh
+//! cargo run --release --example install_day
+//! ```
+
+use movr::install::{install_reflector, InstallConfig};
+use movr::alignment::AlignmentConfig;
+use movr::reflector::MovrReflector;
+use movr_control::{CommandSession, ControlChannel};
+use movr_math::{wrap_deg_180, SimRng, Vec2};
+use movr_phased_array::Codebook;
+use movr_radio::RadioEndpoint;
+use movr_rfsim::Scene;
+
+fn run(label: &str, link: CommandSession, seed: u64) {
+    let scene = Scene::paper_office();
+    let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let mut reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, seed);
+    let truth = reflector.position().bearing_deg_to(ap.position());
+    let truth_ap = ap.position().bearing_deg_to(reflector.position());
+
+    let config = InstallConfig {
+        alignment: AlignmentConfig {
+            ap_codebook: Codebook::sweep(truth_ap - 15.0, truth_ap + 15.0, 1.0),
+            reflector_codebook: Codebook::sweep(truth - 15.0, truth + 15.0, 1.0),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut link = link;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let report = install_reflector(&scene, &ap, &mut reflector, &mut link, &config, &mut rng);
+
+    println!("\n=== {label} ===");
+    println!(
+        "incidence angle : {:.1}° estimated vs {truth:.1}° true (error {:.2}°)",
+        report.alignment.reflector_angle_deg,
+        wrap_deg_180(report.alignment.reflector_angle_deg - truth).abs()
+    );
+    println!(
+        "safe gain       : {:.1} dB ({}), loop leakage {:.1} dB",
+        report.gain.chosen_gain_db,
+        if report.gain.knee_detected {
+            "stopped at the current knee"
+        } else {
+            "amplifier ceiling"
+        },
+        reflector.loop_attenuation_db()
+    );
+    println!(
+        "control traffic : {} commands, {} retries, converged: {}",
+        report.commands,
+        report.retries,
+        if report.converged { "yes" } else { "NO" }
+    );
+    println!(
+        "wall-clock      : {} (RF measurements: {})",
+        report.elapsed, report.alignment.measurements
+    );
+    assert!(!reflector.is_saturated());
+}
+
+fn main() {
+    println!("MoVR installation walkthrough — §4.1 + §4.2 over the control plane");
+
+    run(
+        "healthy Bluetooth link (1% loss)",
+        CommandSession::bluetooth(7, 5),
+        11,
+    );
+
+    let mut bad = ControlChannel::bluetooth(13);
+    bad.loss_probability = 0.35;
+    run(
+        "degraded link (35% command loss)",
+        CommandSession::new(bad, ControlChannel::bluetooth(14), 10),
+        12,
+    );
+
+    println!(
+        "\nThe stop-and-wait command layer turns a 35% lossy link into a\n\
+         slower install, not a failed one — and the estimate lands within\n\
+         the paper's 2° either way."
+    );
+}

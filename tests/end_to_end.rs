@@ -1,0 +1,171 @@
+//! End-to-end integration tests: the full stack from motion trace through
+//! propagation, devices, protocols, link management and frame accounting.
+
+use movr::session::{run_session, SessionConfig, Strategy};
+use movr::system::{LinkMode, MovrSystem, SystemConfig};
+use movr_math::Vec2;
+use movr_motion::{HandRaise, HeadTurn, PlayerState, RandomWalk, WalkerCrossing, WorldState};
+use movr_radio::{RateTable, VR_REQUIRED_SNR_DB};
+use movr_rfsim::Room;
+
+fn player_facing_ap() -> PlayerState {
+    let center = Vec2::new(4.0, 2.5);
+    let yaw = center.bearing_deg_to(Vec2::new(0.5, 2.5));
+    PlayerState::standing(center, yaw)
+}
+
+#[test]
+fn paper_story_los_blocked_rescued() {
+    // The paper's core claim as one test: a clear LOS carries VR; a hand
+    // kills it; MoVR restores it.
+    let mut sys = MovrSystem::paper_setup(SystemConfig::default());
+    let rate = RateTable;
+
+    let clear = sys.evaluate(&WorldState::player_only(player_facing_ap()));
+    assert_eq!(clear.mode, LinkMode::Direct);
+    assert!(rate.supports_vr(clear.snr_db), "LOS SNR {}", clear.snr_db);
+
+    let blocked_direct =
+        sys.evaluate_direct(&WorldState::player_only(player_facing_ap().with_hand(true)));
+    assert!(
+        clear.snr_db - blocked_direct > 14.0,
+        "§3: hand blockage must cost >14 dB (cost {})",
+        clear.snr_db - blocked_direct
+    );
+    assert!(!rate.supports_vr(blocked_direct));
+
+    let rescued = sys.evaluate(&WorldState::player_only(player_facing_ap().with_hand(true)));
+    assert!(matches!(rescued.mode, LinkMode::Reflector(_)));
+    assert!(rate.supports_vr(rescued.snr_db), "MoVR SNR {}", rescued.snr_db);
+}
+
+#[test]
+fn movr_snr_is_close_to_or_above_los() {
+    // Fig. 9's qualitative claim: the reflector path is within a few dB of
+    // (often above) the unblocked LOS.
+    let mut sys = MovrSystem::paper_setup(SystemConfig::default());
+    let world = WorldState::player_only(player_facing_ap());
+    let los = sys.evaluate_direct(&world);
+    let via = sys.evaluate_via_reflector(0, &world).end_snr_db;
+    let improvement = via - los;
+    assert!(
+        (-4.0..12.0).contains(&improvement),
+        "improvement {improvement} dB out of the paper's band (los={los}, via={via})"
+    );
+}
+
+#[test]
+fn walker_crossing_session() {
+    // Another person walks between the AP and the player twice-ish; MoVR
+    // keeps frames flowing, direct-only drops them while shadowed.
+    let trace = WalkerCrossing {
+        player: player_facing_ap(),
+        from: Vec2::new(1.5, 0.5),
+        to: Vec2::new(1.5, 4.5),
+        start_s: 1.0,
+        speed_mps: 1.2,
+        duration_s: 6.0,
+    };
+    let direct = run_session(&trace, &SessionConfig::with_strategy(Strategy::DirectOnly));
+    let movr = run_session(
+        &trace,
+        &SessionConfig::with_strategy(Strategy::Movr { tracking: true }),
+    );
+    assert!(
+        direct.glitches.glitch_events >= 1,
+        "the walker must shadow the direct link at least once"
+    );
+    assert!(
+        movr.glitches.loss_rate < direct.glitches.loss_rate,
+        "movr {} vs direct {}",
+        movr.glitches.loss_rate,
+        direct.glitches.loss_rate
+    );
+    assert!(movr.glitches.loss_rate < 0.05, "{}", movr.glitches.loss_rate);
+}
+
+#[test]
+fn head_turn_session_recovers_via_reflector() {
+    // The player swings her gaze from the AP toward the reflector side;
+    // the system must hand the stream over without a long stall.
+    let trace = HeadTurn {
+        base: player_facing_ap(),
+        start_s: 1.0,
+        rate_dps: -120.0, // yaw 180° → 90°: gaze swings toward the
+        total_deg: 90.0,  // north-wall reflector, AP leaves the ±70° scan
+        duration_s: 4.0,
+    };
+    let movr = run_session(
+        &trace,
+        &SessionConfig::with_strategy(Strategy::Movr { tracking: true }),
+    );
+    assert!(
+        movr.reflector_fraction > 0.2,
+        "the reflector must take over during the turn: {}",
+        movr.reflector_fraction
+    );
+    assert!(
+        movr.glitches.loss_rate < 0.10,
+        "loss {}",
+        movr.glitches.loss_rate
+    );
+}
+
+#[test]
+fn hand_raise_glitch_budget() {
+    let trace = HandRaise {
+        base: player_facing_ap(),
+        raise_at_s: 2.0,
+        lower_at_s: 4.0,
+        duration_s: 6.0,
+    };
+    let tracked = run_session(
+        &trace,
+        &SessionConfig::with_strategy(Strategy::Movr { tracking: true }),
+    );
+    // Tracking-assisted failover costs at most a handful of frames.
+    assert!(
+        tracked.glitches.longest_stall_frames <= 3,
+        "stall {} frames",
+        tracked.glitches.longest_stall_frames
+    );
+}
+
+#[test]
+fn long_gaze_walk_session_is_stable() {
+    let room = Room::paper_office();
+    let trace = RandomWalk::with_gaze(&room, 1234, 30.0, Vec2::new(0.5, 2.5));
+    let movr = run_session(
+        &trace,
+        &SessionConfig::with_strategy(Strategy::Movr { tracking: true }),
+    );
+    let direct = run_session(&trace, &SessionConfig::with_strategy(Strategy::DirectOnly));
+    assert!(movr.glitches.loss_rate <= direct.glitches.loss_rate);
+    assert!(
+        movr.glitches.loss_rate < 0.15,
+        "movr loss {}",
+        movr.glitches.loss_rate
+    );
+    assert!(movr.mean_snr_db > VR_REQUIRED_SNR_DB);
+}
+
+#[test]
+fn sessions_are_reproducible() {
+    let room = Room::paper_office();
+    let trace = RandomWalk::with_gaze(&room, 5, 10.0, Vec2::new(0.5, 2.5));
+    let cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+    let a = run_session(&trace, &cfg);
+    let b = run_session(&trace, &cfg);
+    assert_eq!(a.glitches, b.glitches);
+    assert_eq!(a.mode_switches, b.mode_switches);
+    assert!((a.mean_snr_db - b.mean_snr_db).abs() < 1e-12);
+}
+
+#[test]
+fn tethered_reference_never_glitches() {
+    let room = Room::paper_office();
+    let trace = RandomWalk::new(&room, 9, 10.0);
+    let out = run_session(&trace, &SessionConfig::with_strategy(Strategy::Tethered));
+    assert_eq!(out.glitches.loss_rate, 0.0);
+    assert_eq!(out.glitches.glitch_events, 0);
+}

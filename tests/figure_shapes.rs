@@ -1,0 +1,163 @@
+//! The paper's figure *shapes* as tests: small-N versions of the Fig. 3
+//! and Fig. 9 regenerators whose qualitative claims must keep holding as
+//! the simulator evolves. If a calibration change breaks one of these,
+//! the reproduction has drifted.
+
+use movr::baselines::{aligned_direct_snr, opt_nlos};
+use movr::system::{MovrSystem, SystemConfig};
+use movr_math::{SimRng, Summary, Vec2};
+use movr_motion::{PlayerState, WorldState};
+use movr_phased_array::Codebook;
+use movr_radio::{RadioEndpoint, RateTable, VR_REQUIRED_RATE_MBPS};
+use movr_rfsim::{BodyPart, Obstacle, Scene};
+
+const AP: Vec2 = Vec2::new(0.5, 2.5);
+
+fn random_pose(rng: &mut SimRng) -> (Vec2, f64) {
+    let pos = Vec2::new(rng.uniform(2.0, 4.5), rng.uniform(0.8, 4.2));
+    let yaw = pos.bearing_deg_to(AP) + rng.uniform(-20.0, 20.0);
+    (pos, yaw)
+}
+
+#[test]
+fn fig3_shape_small_n() {
+    let mut rng = SimRng::seed_from_u64(303);
+    let rate = RateTable;
+    let runs = 6;
+
+    let mut los = Summary::new();
+    let mut hand = Summary::new();
+    let mut head = Summary::new();
+    let mut body = Summary::new();
+    let mut nlos = Summary::new();
+
+    for _ in 0..runs {
+        let mut scene = Scene::paper_office();
+        let mut ap = RadioEndpoint::paper_radio(AP, 20.0);
+        let (hs_pos, _) = random_pose(&mut rng);
+        let mut hs = RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(AP));
+        let mid = AP.lerp(hs_pos, 0.55);
+
+        los.push(aligned_direct_snr(&scene, &mut ap, &mut hs));
+        for (kind, stat) in [
+            (BodyPart::Hand, &mut hand),
+            (BodyPart::Head, &mut head),
+            (BodyPart::Torso, &mut body),
+        ] {
+            scene.clear_obstacles();
+            scene.add_obstacle(Obstacle::new(kind, mid));
+            stat.push(aligned_direct_snr(&scene, &mut ap, &mut hs));
+        }
+        // Coarse NLOS sweep under the torso blocker.
+        let ap_cb = Codebook::sweep(-50.0, 90.0, 4.0);
+        let bore = hs.array().boresight_deg();
+        let hs_cb = Codebook::sweep(bore - 48.0, bore + 48.0, 4.0);
+        nlos.push(opt_nlos(&scene, &ap, &hs, &ap_cb, &hs_cb, 7.0).snr_db);
+    }
+
+    // The published shape, bar by bar.
+    assert!((22.0..28.0).contains(&los.mean()), "LOS mean {}", los.mean());
+    assert!(rate.supports_vr(los.mean()));
+    assert!(los.mean() - hand.mean() > 14.0, "hand drop too small");
+    assert!(hand.mean() > head.mean(), "head blocks more than hand");
+    assert!(head.mean() > body.mean(), "body blocks more than head");
+    for s in [&hand, &head, &body, &nlos] {
+        assert!(
+            !rate.supports_vr(s.mean()),
+            "a blocked/NLOS bar is VR-grade: {}",
+            s.mean()
+        );
+        assert!(rate.rate_mbps(s.mean()) < VR_REQUIRED_RATE_MBPS);
+    }
+    assert!(los.mean() - nlos.mean() > 12.0, "NLOS penalty too small");
+}
+
+#[test]
+fn fig9_shape_small_n() {
+    let mut rng = SimRng::seed_from_u64(909);
+    let runs = 8;
+    let mut nlos_impr = Summary::new();
+    let mut movr_impr = Summary::new();
+
+    let mut done = 0;
+    while done < runs {
+        let mut sys = MovrSystem::paper_setup(SystemConfig::default());
+        let (pos, yaw) = random_pose(&mut rng);
+        let player = PlayerState::standing(pos, yaw);
+        // Keep within the single reflector's installed coverage.
+        let hs_probe = RadioEndpoint::paper_radio(player.receiver_position(), yaw);
+        if !hs_probe.array().can_steer_to(pos.bearing_deg_to(AP))
+            || !hs_probe
+                .array()
+                .can_steer_to(pos.bearing_deg_to(Vec2::new(1.0, 4.75)))
+        {
+            continue;
+        }
+        done += 1;
+
+        let clear = WorldState::player_only(player);
+        let los = sys.evaluate_direct(&clear);
+
+        let mid = AP.lerp(player.receiver_position(), 0.5);
+        let mut blocked = WorldState::player_only(player);
+        blocked.others.push(Obstacle::new(BodyPart::Torso, mid));
+
+        let _ = sys.evaluate_direct(&blocked);
+        let hs = RadioEndpoint::paper_radio(player.receiver_position(), yaw);
+        let ap_cb = Codebook::sweep(-50.0, 90.0, 4.0);
+        let hs_cb = Codebook::sweep(yaw - 48.0, yaw + 48.0, 4.0);
+        let n = opt_nlos(sys.scene(), sys.ap(), &hs, &ap_cb, &hs_cb, 7.0);
+        let m = sys.evaluate_via_reflector(0, &blocked).end_snr_db;
+
+        nlos_impr.push(n.snr_db - los);
+        movr_impr.push(m - los);
+    }
+
+    // Opt-NLOS: deeply negative; MoVR: near or above zero.
+    assert!(
+        nlos_impr.mean() < -12.0,
+        "Opt-NLOS must lose double digits: {}",
+        nlos_impr.mean()
+    );
+    assert!(
+        movr_impr.mean() > -3.0,
+        "MoVR must sit near/above LOS on average: {}",
+        movr_impr.mean()
+    );
+    assert!(
+        movr_impr.mean() - nlos_impr.mean() > 10.0,
+        "MoVR must dominate Opt-NLOS"
+    );
+    assert!(
+        movr_impr.min() > -10.0,
+        "MoVR's worst case stays shallow: {}",
+        movr_impr.min()
+    );
+}
+
+#[test]
+fn fig8_shape_small_n() {
+    use movr::alignment::{estimate_incidence, AlignmentConfig};
+    use movr::reflector::MovrReflector;
+
+    let scene = Scene::paper_office();
+    let ap = RadioEndpoint::paper_radio(AP, 20.0);
+    let mut rng = SimRng::seed_from_u64(808);
+    for run in 0..4 {
+        let pos = Vec2::new(rng.uniform(1.0, 3.2), 4.75);
+        let bore = pos.bearing_deg_to(Vec2::new(1.8, 2.2)) + rng.uniform(-8.0, 8.0);
+        let reflector = MovrReflector::wall_mounted(pos, bore, 700 + run);
+        let truth = pos.bearing_deg_to(AP);
+        let truth_ap = AP.bearing_deg_to(pos);
+        let cfg = AlignmentConfig {
+            ap_codebook: Codebook::sweep(truth_ap - 10.0, truth_ap + 10.0, 1.0),
+            reflector_codebook: Codebook::sweep(truth - 10.0, truth + 10.0, 1.0),
+            ..Default::default()
+        };
+        let r = estimate_incidence(&scene, ap, reflector, &cfg, &mut rng);
+        assert!(
+            movr_math::wrap_deg_180(r.reflector_angle_deg - truth).abs() <= 2.0,
+            "run {run}: over the paper's 2° bound"
+        );
+    }
+}

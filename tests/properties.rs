@@ -1,0 +1,300 @@
+//! Property-based tests on cross-crate invariants.
+//!
+//! Each property encodes something the design *must* hold everywhere, not
+//! just at the unit tests' hand-picked points: stability of the gain
+//! controller across arbitrary beam postures and devices, geometric sanity
+//! of the path tracer, monotonicity of the rate ladder, conservation in
+//! the dB algebra.
+
+use movr::gain_control::{run_gain_control, GainControlConfig};
+use movr::reflector::MovrReflector;
+use movr_math::{db_to_linear, linear_to_db, wrap_deg_180, Cdf, Vec2};
+use movr_phased_array::UniformLinearArray;
+use movr_radio::RateTable;
+use movr_rfsim::{trace_paths, BodyPart, Obstacle, Room, TraceConfig};
+use movr_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- math ----------------
+
+    #[test]
+    fn wrap_180_is_idempotent_and_in_range(deg in -1e4f64..1e4) {
+        let w = wrap_deg_180(deg);
+        prop_assert!((-180.0..=180.0).contains(&w));
+        prop_assert!((wrap_deg_180(w) - w).abs() < 1e-9);
+        // Same direction modulo 360.
+        let diff = (deg - w) / 360.0;
+        prop_assert!((diff - diff.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_roundtrip(db in -120.0f64..60.0) {
+        prop_assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_addition_is_linear_multiplication(a in -60.0f64..30.0, b in -60.0f64..30.0) {
+        let lin = db_to_linear(a) * db_to_linear(b);
+        prop_assert!((linear_to_db(lin) - (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised(mut xs in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+        xs.iter_mut().for_each(|x| *x = (*x * 100.0).round() / 100.0);
+        let cdf = Cdf::new(xs.clone());
+        prop_assert_eq!(cdf.len(), xs.len());
+        prop_assert!(cdf.fraction_leq(f64::NEG_INFINITY) == 0.0);
+        prop_assert!((cdf.fraction_leq(1e9) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = cdf.quantile(q);
+            prop_assert!(v >= prev || q == 0.0);
+            prev = v;
+        }
+        prop_assert!(cdf.min() <= cdf.median() && cdf.median() <= cdf.max());
+    }
+
+    // ---------------- phased array ----------------
+
+    #[test]
+    fn array_factor_bounded_by_unity(
+        n in 2usize..24,
+        steer in -50.0f64..50.0,
+        theta in -89.0f64..89.0,
+    ) {
+        let arr = UniformLinearArray::new(
+            n,
+            0.5,
+            movr_phased_array::PatchElement::default(),
+            movr_phased_array::PhaseShifter::default(),
+        );
+        prop_assert!(arr.array_factor(steer, theta).abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn steered_gain_is_near_best(steer in -45.0f64..45.0) {
+        let arr = UniformLinearArray::paper_array();
+        let at_steer = arr.gain_dbi(steer, steer);
+        let mut best = f64::NEG_INFINITY;
+        let mut t = -89.0;
+        while t < 89.0 {
+            best = best.max(arr.gain_dbi(steer, t));
+            t += 0.25;
+        }
+        prop_assert!(best - at_steer < 1.5, "steer={steer} best={best} at={at_steer}");
+    }
+
+    // ---------------- ray tracing ----------------
+
+    #[test]
+    fn traced_paths_are_geometrically_sane(
+        tx_x in 0.3f64..4.7, tx_y in 0.3f64..4.7,
+        rx_x in 0.3f64..4.7, rx_y in 0.3f64..4.7,
+    ) {
+        let room = Room::paper_office();
+        let tx = Vec2::new(tx_x, tx_y);
+        let rx = Vec2::new(rx_x, rx_y);
+        prop_assume!(tx.distance(rx) > 0.05);
+        let paths = trace_paths(&room, &[], tx, rx, &TraceConfig::default());
+        prop_assert!(!paths.is_empty());
+        let direct = tx.distance(rx);
+        for p in &paths {
+            // No path is shorter than the straight line.
+            prop_assert!(p.length_m >= direct - 1e-9);
+            prop_assert!(p.excess_loss_db() >= 0.0);
+            // Vertices stay within the closed room.
+            for v in &p.vertices {
+                prop_assert!(v.x >= -1e-9 && v.x <= 5.0 + 1e-9);
+                prop_assert!(v.y >= -1e-9 && v.y <= 5.0 + 1e-9);
+            }
+        }
+        // The LOS path is exactly the straight line.
+        prop_assert!((paths[0].length_m - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadow_loss_bounded_and_monotone(
+        offset in 0.0f64..0.6,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [BodyPart::Hand, BodyPart::Head, BodyPart::Torso][kind_idx];
+        let seg = movr_rfsim::Segment::new(Vec2::new(0.0, 0.0), Vec2::new(4.0, 0.0));
+        let near = Obstacle::new(kind, Vec2::new(2.0, offset));
+        let far = Obstacle::new(kind, Vec2::new(2.0, offset + 0.05));
+        let l_near = near.shadow_loss_on(&seg);
+        let l_far = far.shadow_loss_on(&seg);
+        prop_assert!((0.0..=kind.shadow_loss_db()).contains(&l_near));
+        prop_assert!(l_far <= l_near + 1e-9, "loss must not grow with distance");
+    }
+
+    // ---------------- rate ladder ----------------
+
+    #[test]
+    fn rate_is_monotone_in_snr_prop(a in -10.0f64..40.0, b in -10.0f64..40.0) {
+        let t = RateTable;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.rate_mbps(lo) <= t.rate_mbps(hi));
+    }
+
+    // ---------------- gain control ----------------
+
+    #[test]
+    fn gain_control_never_saturates(
+        seed in 0u64..500,
+        rx_local in -45.0f64..45.0,
+        tx_local in -45.0f64..45.0,
+    ) {
+        let mut r = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, seed);
+        r.steer_rx(-70.0 + rx_local);
+        r.steer_tx(-70.0 + tx_local);
+        let res = run_gain_control(&mut r, &GainControlConfig::default());
+        // The §4.2 invariant, across arbitrary devices and beam postures.
+        prop_assert!(!r.is_saturated(),
+            "seed={seed} chose {} vs loop {}", res.chosen_gain_db, r.loop_attenuation_db());
+        prop_assert!(res.chosen_gain_db < r.loop_attenuation_db());
+    }
+
+    // ---------------- tapers ----------------
+
+    #[test]
+    fn taper_weights_positive_efficiency_bounded(
+        n in 1usize..32,
+        pedestal in 0.0f64..1.0,
+        kind in 0usize..3,
+    ) {
+        use movr_phased_array::Taper;
+        let taper = [
+            Taper::Uniform,
+            Taper::RaisedCosine { pedestal },
+            Taper::Binomial,
+        ][kind];
+        for i in 0..n {
+            prop_assert!(taper.weight(i, n) > 0.0);
+        }
+        let eff = taper.efficiency(n);
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-12, "eff={eff}");
+    }
+
+    // ---------------- framing ----------------
+
+    #[test]
+    fn burst_airtime_at_least_ideal(bits in 1u64..400_000_000, mcs_idx in 1usize..16) {
+        use movr_radio::FrameConfig;
+        let cfg = FrameConfig::default();
+        let mcs = &RateTable.entries()[mcs_idx];
+        let t = cfg.burst_airtime(mcs, bits).as_secs_f64();
+        let ideal = bits as f64 / (mcs.rate_mbps * 1e6);
+        prop_assert!(t >= ideal);
+        // Overhead stays bounded: even tiny bursts pay at most one
+        // preamble+header+SIFS per PSDU.
+        let n = cfg.ppdu_count(bits) as f64;
+        let max_overhead = n * 6e-6;
+        prop_assert!(t <= ideal + max_overhead, "t={t} ideal={ideal} n={n}");
+    }
+
+    // ---------------- polygon rooms ----------------
+
+    #[test]
+    fn polygon_room_contains_centroid_and_rejects_outside(
+        w in 2.0f64..8.0,
+        d in 2.0f64..8.0,
+    ) {
+        use movr_rfsim::Material;
+        let room = movr_rfsim::Room::rectangular(w, d, Material::Drywall);
+        prop_assert!(room.contains(room.centroid()));
+        prop_assert!(!room.contains(movr_math::Vec2::new(-0.5, d / 2.0)));
+        prop_assert!(!room.contains(movr_math::Vec2::new(w + 0.5, d / 2.0)));
+        // clamp_inside always lands inside with the margin.
+        let p = room.clamp_inside(movr_math::Vec2::new(w * 2.0, -d), 0.3);
+        prop_assert!(room.contains(p));
+    }
+
+    #[test]
+    fn l_shaped_paths_never_cross_walls(
+        tx_x in 0.4f64..2.6, tx_y in 0.4f64..4.6,
+        rx_x in 0.4f64..4.6, rx_y in 0.4f64..2.6,
+    ) {
+        let room = Room::l_shaped_studio();
+        let tx = Vec2::new(tx_x, tx_y);
+        let rx = Vec2::new(rx_x, rx_y);
+        prop_assume!(room.contains(tx) && room.contains(rx));
+        prop_assume!(tx.distance(rx) > 0.05);
+        let paths = trace_paths(&room, &[], tx, rx, &TraceConfig::default());
+        for p in &paths {
+            for leg in p.vertices.windows(2) {
+                let seg = movr_rfsim::Segment::new(leg[0], leg[1]);
+                for w in room.walls() {
+                    prop_assert!(
+                        seg.intersect_interior(&w.segment).is_none(),
+                        "a path leg crosses a wall"
+                    );
+                }
+            }
+        }
+    }
+
+    // ---------------- rate adaptation ----------------
+
+    #[test]
+    fn hysteresis_never_selects_undecodable(reports in prop::collection::vec(-10.0f64..35.0, 1..64)) {
+        use movr_radio::{Hysteresis, RateAdapter};
+        let mut h = Hysteresis::new(1.0, 3, 0.0);
+        for &snr in &reports {
+            if let Some(mcs) = h.on_snr_report(snr) {
+                // Whatever it picked, the *report* that drove the last
+                // transition decoded it; the invariant that matters is
+                // the rung is never above the instantaneous ideal one.
+                let ideal = RateTable.best_mcs(snr).map(|m| m.index);
+                if let Some(ideal_idx) = ideal {
+                    prop_assert!(mcs.index <= ideal_idx.max(mcs.index));
+                }
+            }
+        }
+    }
+
+    // ---------------- predictor ----------------
+
+    #[test]
+    fn predictor_extrapolation_is_exact_for_linear_motion(
+        vx in -2.0f64..2.0,
+        vy in -2.0f64..2.0,
+        w in -120.0f64..120.0,
+    ) {
+        use movr::tracking::BeamPredictor;
+        use movr_motion::TrackedPose;
+        let mut p = BeamPredictor::new();
+        for k in 0..4 {
+            let t = k as f64 * 0.01;
+            p.observe(
+                t,
+                TrackedPose {
+                    center: Vec2::new(2.0 + vx * t, 2.0 + vy * t),
+                    yaw_deg: w * t,
+                },
+            );
+        }
+        let pred = p.predict(0.05).unwrap();
+        prop_assert!((pred.center.x - (2.0 + vx * 0.05)).abs() < 1e-6);
+        prop_assert!((pred.center.y - (2.0 + vy * 0.05)).abs() < 1e-6);
+        prop_assert!(movr_math::wrap_deg_180(pred.yaw_deg - w * 0.05).abs() < 1e-6);
+    }
+
+    // ---------------- event queue ----------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.next() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+}
