@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks: the computational hot paths of the
-//! simulator (per-frame link evaluation, the alignment sweep's inner
-//! measurement, the gain-control loop) and the end-to-end frame step.
+//! Micro-benchmarks: the computational hot paths of the simulator
+//! (per-frame link evaluation, the alignment sweep's inner measurement,
+//! the gain-control loop) and the end-to-end frame step.
 //!
 //! These are *performance* benches (how fast the simulator runs), not
 //! figure regenerators — those are the `fig*`/`ablation_*` binaries.
+//!
+//! Runs on the in-tree `movr-testkit` runner: each bench prints one JSON
+//! line with median/p95/mean per-iteration nanoseconds. Invoke with
+//! `cargo bench -p movr-bench` (full) or
+//! `cargo bench -p movr-bench -- --quick` (smoke profile).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use movr::gain_control::{run_gain_control, GainControlConfig};
 use movr::reflector::MovrReflector;
 use movr::relay::{relay_link, round_trip_reflection_dbm};
@@ -14,65 +18,66 @@ use movr_math::Vec2;
 use movr_motion::{PlayerState, WorldState};
 use movr_radio::{evaluate_link, RadioEndpoint};
 use movr_rfsim::Scene;
+use movr_testkit::{bench_fn, bench_with_setup, BenchOptions, BenchReport};
 
-fn bench_link_budget(c: &mut Criterion) {
+fn bench_link_budget(opts: &BenchOptions) -> Vec<BenchReport> {
     let scene = Scene::paper_office();
     let mut ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
     let mut hs = RadioEndpoint::paper_radio(Vec2::new(4.0, 2.5), 180.0);
     ap.steer_toward(hs.position());
     hs.steer_toward(ap.position());
-    c.bench_function("link_budget_direct", |b| {
-        b.iter(|| evaluate_link(&scene, &ap, &hs))
-    });
+    vec![bench_fn("link_budget_direct", opts, || {
+        evaluate_link(&scene, &ap, &hs)
+    })]
 }
 
-fn bench_relay_budget(c: &mut Criterion) {
+fn bench_relay_budget(opts: &BenchOptions) -> Vec<BenchReport> {
     let scene = Scene::paper_office();
     let mut ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
-    let mut reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 1);
+    let mut reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, movr::system::PAPER_DEVICE_SEED);
     let mut hs = RadioEndpoint::paper_radio(Vec2::new(4.0, 2.5), 180.0);
     ap.steer_toward(reflector.position());
     reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));
     reflector.steer_tx(reflector.position().bearing_deg_to(hs.position()));
     reflector.set_gain_db(40.0);
     hs.steer_toward(reflector.position());
-    c.bench_function("relay_budget", |b| {
-        b.iter(|| relay_link(&scene, &ap, &reflector, &hs))
-    });
-    c.bench_function("round_trip_probe", |b| {
-        b.iter(|| round_trip_reflection_dbm(&scene, &ap, &reflector))
-    });
+    vec![
+        bench_fn("relay_budget", opts, || {
+            relay_link(&scene, &ap, &reflector, &hs)
+        }),
+        bench_fn("round_trip_probe", opts, || {
+            round_trip_reflection_dbm(&scene, &ap, &reflector)
+        }),
+    ]
 }
 
-fn bench_gain_control(c: &mut Criterion) {
-    c.bench_function("gain_control_loop", |b| {
-        b.iter_batched(
-            || {
-                let mut r = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 1);
-                r.steer_rx(-102.0);
-                r.steer_tx(-45.0);
-                r
-            },
-            |mut r| run_gain_control(&mut r, &GainControlConfig::default()),
-            BatchSize::SmallInput,
-        )
-    });
+fn bench_gain_control(opts: &BenchOptions) -> Vec<BenchReport> {
+    vec![bench_with_setup(
+        "gain_control_loop",
+        opts,
+        || {
+            let mut r = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, movr::system::PAPER_DEVICE_SEED);
+            r.steer_rx(-102.0);
+            r.steer_tx(-45.0);
+            r
+        },
+        |mut r| run_gain_control(&mut r, &GainControlConfig::default()),
+    )]
 }
 
-fn bench_system_step(c: &mut Criterion) {
+fn bench_system_step(opts: &BenchOptions) -> Vec<BenchReport> {
     let center = Vec2::new(4.0, 2.5);
     let yaw = center.bearing_deg_to(Vec2::new(0.5, 2.5));
     let world = WorldState::player_only(PlayerState::standing(center, yaw));
-    c.bench_function("system_evaluate_frame", |b| {
-        b.iter_batched(
-            || MovrSystem::paper_setup(SystemConfig::default()),
-            |mut sys| sys.evaluate(&world),
-            BatchSize::SmallInput,
-        )
-    });
+    vec![bench_with_setup(
+        "system_evaluate_frame",
+        opts,
+        || MovrSystem::paper_setup(SystemConfig::default()),
+        |mut sys| sys.evaluate(&world),
+    )]
 }
 
-fn bench_trace_paths(c: &mut Criterion) {
+fn bench_trace_paths(opts: &BenchOptions) -> Vec<BenchReport> {
     use movr_rfsim::{trace_paths, Room, TraceConfig};
     let bare = Room::paper_office();
     let furnished = Room::furnished_office();
@@ -80,24 +85,26 @@ fn bench_trace_paths(c: &mut Criterion) {
     let tx = Vec2::new(1.0, 2.5);
     let rx = Vec2::new(4.0, 2.0);
     let cfg = TraceConfig::default();
-    c.bench_function("trace_paths_bare", |b| {
-        b.iter(|| trace_paths(&bare, &[], tx, rx, &cfg))
-    });
-    c.bench_function("trace_paths_furnished", |b| {
-        b.iter(|| trace_paths(&furnished, &[], tx, rx, &cfg))
-    });
-    c.bench_function("trace_paths_lshaped", |b| {
-        b.iter(|| trace_paths(&lshape, &[], Vec2::new(1.0, 1.0), Vec2::new(1.0, 4.0), &cfg))
-    });
+    vec![
+        bench_fn("trace_paths_bare", opts, || {
+            trace_paths(&bare, &[], tx, rx, &cfg)
+        }),
+        bench_fn("trace_paths_furnished", opts, || {
+            trace_paths(&furnished, &[], tx, rx, &cfg)
+        }),
+        bench_fn("trace_paths_lshaped", opts, || {
+            trace_paths(&lshape, &[], Vec2::new(1.0, 1.0), Vec2::new(1.0, 4.0), &cfg)
+        }),
+    ]
 }
 
-fn bench_alignment_sweep(c: &mut Criterion) {
+fn bench_alignment_sweep(opts: &BenchOptions) -> Vec<BenchReport> {
     use movr::alignment::{estimate_incidence, AlignmentConfig};
     use movr_math::SimRng;
     use movr_phased_array::Codebook;
     let scene = Scene::paper_office();
     let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
-    let reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 1);
+    let reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, movr::system::PAPER_DEVICE_SEED);
     let truth = reflector.position().bearing_deg_to(ap.position());
     let truth_ap = ap.position().bearing_deg_to(reflector.position());
     let cfg = AlignmentConfig {
@@ -105,35 +112,40 @@ fn bench_alignment_sweep(c: &mut Criterion) {
         reflector_codebook: Codebook::sweep(truth - 10.0, truth + 10.0, 1.0),
         ..Default::default()
     };
-    c.bench_function("alignment_sweep_21x21", |b| {
-        b.iter_batched(
-            || SimRng::seed_from_u64(1),
-            |mut rng| estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
-            BatchSize::SmallInput,
-        )
-    });
+    vec![bench_with_setup(
+        "alignment_sweep_21x21",
+        opts,
+        || SimRng::seed_from_u64(1),
+        |mut rng| estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
+    )]
 }
 
-fn bench_session_second(c: &mut Criterion) {
+fn bench_session_second(opts: &BenchOptions) -> Vec<BenchReport> {
     use movr::session::{run_session, SessionConfig, Strategy};
     use movr_motion::StaticScene;
     let center = Vec2::new(4.0, 2.5);
     let yaw = center.bearing_deg_to(Vec2::new(0.5, 2.5));
     let trace = StaticScene::new(PlayerState::standing(center, yaw), 1.0);
     let cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
-    c.bench_function("session_one_second_90fps", |b| {
-        b.iter(|| run_session(&trace, &cfg))
-    });
+    vec![bench_fn("session_one_second_90fps", opts, || {
+        run_session(&trace, &cfg)
+    })]
 }
 
-criterion_group!(
-    benches,
-    bench_link_budget,
-    bench_relay_budget,
-    bench_gain_control,
-    bench_system_step,
-    bench_trace_paths,
-    bench_alignment_sweep,
-    bench_session_second
-);
-criterion_main!(benches);
+fn main() {
+    let opts = BenchOptions::from_args(std::env::args().skip(1));
+    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 7] = [
+        bench_link_budget,
+        bench_relay_budget,
+        bench_gain_control,
+        bench_system_step,
+        bench_trace_paths,
+        bench_alignment_sweep,
+        bench_session_second,
+    ];
+    for suite in suites {
+        for report in suite(&opts) {
+            println!("{}", report.json_line());
+        }
+    }
+}

@@ -44,7 +44,7 @@ fn scenario(freq_hz: f64, elements: usize) -> (f64, f64) {
     let direct = evaluate_link(&scene, &ap, &hs).snr_db;
 
     // MoVR path with the canonical reflector (same element count).
-    let mut reflector = MovrReflector::wall_mounted(reflector_position(), -70.0, 1);
+    let mut reflector = MovrReflector::wall_mounted(reflector_position(), -70.0, movr::system::PAPER_DEVICE_SEED);
     let mut ap_r = ap;
     ap_r.steer_toward(reflector.position());
     reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));

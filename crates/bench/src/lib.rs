@@ -26,7 +26,7 @@ impl Deployment {
         Deployment {
             scene: Scene::paper_office(),
             ap: RadioEndpoint::paper_radio(ap_position(), 20.0),
-            reflector: MovrReflector::wall_mounted(reflector_position(), -70.0, 1),
+            reflector: MovrReflector::wall_mounted(reflector_position(), -70.0, movr::system::PAPER_DEVICE_SEED),
         }
     }
 }

@@ -127,9 +127,13 @@ mod tests {
 
     #[test]
     fn bluetooth_latency_band() {
+        // 1000 sends at 1% loss: expect ~10 drops. The band below is
+        // ±6 sigma, so the test is robust to the particular seed rather
+        // than pinned to one lucky draw sequence.
         let mut ch = ControlChannel::bluetooth(1);
+        let total = 1000;
         let mut delivered = 0;
-        for i in 0..200 {
+        for i in 0..total {
             let now = SimTime::from_millis(i * 50);
             if let Some(at) = ch.send(now, ControlMessage::Ack) {
                 let lat = (at - now).as_secs_f64();
@@ -137,9 +141,9 @@ mod tests {
                 delivered += 1;
             }
         }
-        // ~1% loss: overwhelming majority delivered.
-        assert!(delivered >= 190, "delivered={delivered}");
-        assert!(delivered < 200, "some loss expected at 1%");
+        // ~1% loss: overwhelming majority delivered, but not all.
+        assert!(delivered >= total - 30, "delivered={delivered}");
+        assert!(delivered < total, "some loss expected at 1%");
     }
 
     #[test]

@@ -254,19 +254,26 @@ mod tests {
     #[test]
     fn lossy_link_retries_until_acked() {
         // Very lossy forward channel: retries must kick in, and with a
-        // generous budget the command still lands.
+        // generous budget every command still lands. Several commands run
+        // back-to-back so the test doesn't hinge on one 40 % first-try
+        // success: at 60 % loss, the odds all eight first sends get
+        // through are under 0.1 %.
         let mut forward = ControlChannel::bluetooth(7);
         forward.loss_probability = 0.6;
         let mut s = CommandSession::new(forward, ControlChannel::ideal(), 50);
-        s.submit(SimTime::ZERO, cmd());
-        let (status, _) = s.drive_until_resolved(
-            SimTime::ZERO,
-            SimTime::from_millis(1),
-            SimTime::from_secs_f64(10.0),
-        );
-        assert!(matches!(status, SessionStatus::Acked(_)), "{status:?}");
+        let mut now = SimTime::ZERO;
+        for _ in 0..8 {
+            assert!(s.submit(now, cmd()));
+            let (status, resolved_at) = s.drive_until_resolved(
+                now,
+                SimTime::from_millis(1),
+                now + SimTime::from_secs_f64(10.0),
+            );
+            assert!(matches!(status, SessionStatus::Acked(_)), "{status:?}");
+            now = resolved_at + SimTime::from_millis(1);
+        }
         assert!(s.stats().retries > 0, "loss at 60% must force retries");
-        assert!(!s.applied().is_empty());
+        assert!(s.applied().len() >= 8);
     }
 
     #[test]

@@ -5,21 +5,92 @@
 //! explicitly, so a figure regenerated twice prints identical rows. Derived
 //! streams (`fork`) let independent subsystems consume randomness without
 //! perturbing each other's sequences when call orders change.
+//!
+//! The generator is implemented in-tree (no external crates) so the whole
+//! workspace builds and tests offline, and so the bit-exact sequence is
+//! owned by this repository rather than by a dependency's minor version:
+//!
+//! * **Core generator:** xoshiro256\*\* (Blackman & Vigna, 2018), a
+//!   public-domain 256-bit-state generator with period 2^256 − 1 that
+//!   passes BigCrush. `next_u64` is the reference algorithm verbatim.
+//! * **Seeding:** the four 64-bit state words are filled from successive
+//!   outputs of a SplitMix64 stream started at the user seed, the
+//!   expansion recommended by the xoshiro authors. Every `u64` seed —
+//!   including 0 — yields a well-mixed, non-degenerate state.
+//! * **Forking:** `fork(label)` consumes one draw from the parent and
+//!   mixes it with the label through a SplitMix64 finalizer, producing a
+//!   child seed that is a pure function of (parent position, label).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// Golden first draw of `SimRng::seed_from_u64(42)`; pinned here and in
+/// tests so any change to the generator is caught immediately.
+pub const GOLDEN_SEED42_FIRST_DRAW: u64 = 1546998764402558742;
 
-/// A seedable, forkable random stream.
-#[derive(Debug, Clone)]
+/// SplitMix64 step: advances `state` and returns the next output.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64 finalizer: a stateless 64-bit mixing function.
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable, forkable random stream (xoshiro256\*\* core).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // The all-zero state is the one fixed point of xoshiro; SplitMix64
+        // expansion cannot realistically produce it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Next raw 64-bit draw (xoshiro256\*\* reference algorithm).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit draw (upper half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes (little-endian 64-bit chunks).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
 
@@ -28,13 +99,15 @@ impl SimRng {
     /// never correlate and adding a new fork does not shift existing ones
     /// if callers fork up-front.
     pub fn fork(&mut self, label: u64) -> SimRng {
-        let base = self.inner.next_u64();
-        // SplitMix64-style mix of the base draw with the label.
-        let mut z = base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        let base = self.next_u64();
+        let z = mix64(base ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         SimRng::seed_from_u64(z)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -43,19 +116,40 @@ impl SimRng {
         if hi == lo {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + (hi - lo) * self.unit_f64();
+        // Floating rounding can land exactly on `hi` when the span is
+        // enormous; fold that measure-zero edge back to `lo`.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
     }
 
-    /// Uniform integer in `[lo, hi]` inclusive.
+    /// Uniform integer in `[lo, hi]` inclusive, bias-free via rejection.
     pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
-        self.inner.gen_range(lo..=hi)
+        debug_assert!(hi >= lo);
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as usize;
+        }
+        let span = span + 1;
+        // Reject draws from the incomplete top interval so every value in
+        // [0, span) is equally likely.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let r = self.next_u64();
+            if r < zone {
+                return lo + (r % span) as usize;
+            }
+        }
     }
 
     /// Standard normal sample via Box–Muller.
     pub fn std_normal(&mut self) -> f64 {
         // Draw u1 in (0,1] to avoid ln(0).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = 1.0 - self.unit_f64();
+        let u2: f64 = self.unit_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
@@ -67,27 +161,12 @@ impl SimRng {
     /// Bernoulli trial: true with probability `p` (clamped to `[0,1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.unit_f64() < p
     }
 
     /// Random phase in `[0, 2π)` radians.
     pub fn phase(&mut self) -> f64 {
         self.uniform(0.0, 2.0 * std::f64::consts::PI)
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -113,6 +192,57 @@ mod tests {
     }
 
     #[test]
+    fn golden_first_eight_draws_of_seed_42() {
+        // Pins the exact output sequence: any change to the generator,
+        // the seeding expansion, or the state layout trips this test.
+        let mut r = SimRng::seed_from_u64(42);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(draws[0], GOLDEN_SEED42_FIRST_DRAW);
+        let golden: [u64; 8] = [
+            1546998764402558742,
+            6990951692964543102,
+            12544586762248559009,
+            17057574109182124193,
+            18295552978065317476,
+            14199186830065750584,
+            13267978908934200754,
+            15679888225317814407,
+        ];
+        assert_eq!(draws, golden);
+        // Cross-check the literals against an independent in-test
+        // reimplementation so they are not self-referential.
+        assert_eq!(draws, expected_seed42_prefix());
+    }
+
+    /// Recomputes the first 8 draws of seed 42 from first principles
+    /// (independent SplitMix64 + xoshiro256** implementations), so the
+    /// golden values above are cross-checked rather than self-referential.
+    fn expected_seed42_prefix() -> Vec<u64> {
+        let mut sm = 42u64;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        (0..8)
+            .map(|_| {
+                let out = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+                let t = s[1] << 17;
+                s[2] ^= s[0];
+                s[3] ^= s[1];
+                s[1] ^= s[2];
+                s[0] ^= s[3];
+                s[2] ^= t;
+                s[3] = s[3].rotate_left(45);
+                out
+            })
+            .collect()
+    }
+
+    #[test]
     fn forks_are_deterministic_and_distinct() {
         let mut parent1 = SimRng::seed_from_u64(7);
         let mut parent2 = SimRng::seed_from_u64(7);
@@ -128,6 +258,29 @@ mod tests {
     }
 
     #[test]
+    fn fork_streams_uncorrelated() {
+        // Pearson correlation between sibling fork streams stays near 0.
+        let mut parent = SimRng::seed_from_u64(99);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|_| a.unit_f64()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| b.unit_f64()).collect();
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n as f64;
+        let vx = xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>() / n as f64;
+        let vy = ys.iter().map(|y| (y - my).powi(2)).sum::<f64>() / n as f64;
+        let corr = cov / (vx * vy).sqrt();
+        assert!(corr.abs() < 0.03, "corr={corr}");
+    }
+
+    #[test]
     fn uniform_stays_in_range() {
         let mut r = SimRng::seed_from_u64(9);
         for _ in 0..1000 {
@@ -138,14 +291,29 @@ mod tests {
     }
 
     #[test]
+    fn uniform_mean_and_variance() {
+        // A uniform on [0,1) has mean 1/2 and variance 1/12.
+        let mut r = SimRng::seed_from_u64(23);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.unit_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.003, "var={var}");
+    }
+
+    #[test]
     fn std_normal_moments() {
         let mut r = SimRng::seed_from_u64(11);
         let n = 50_000;
         let samples: Vec<f64> = (0..n).map(|_| r.std_normal()).collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let var: f64 = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        // Third central moment (skew) of a normal is 0.
+        let skew: f64 = samples.iter().map(|v| (v - mean).powi(3)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean={mean}");
         assert!((var - 1.0).abs() < 0.05, "var={var}");
+        assert!(skew.abs() < 0.05, "skew={skew}");
     }
 
     #[test]
@@ -179,5 +347,17 @@ mod tests {
             seen_hi |= v == 3;
         }
         assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn fill_bytes_deterministic_and_covers_tail() {
+        let mut a = SimRng::seed_from_u64(5);
+        let mut b = SimRng::seed_from_u64(5);
+        let mut buf_a = [0u8; 13];
+        let mut buf_b = [0u8; 13];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != 0));
     }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline verification: build, test, and smoke the benches without
+# touching the network. This is the tier-1 gate plus the testkit's own
+# hygiene checks; it must pass on a machine with no crates.io access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --release --offline
+
+echo "==> tier-1: root package tests"
+cargo test -q --offline
+
+echo "==> workspace tests (all crates)"
+cargo test --workspace -q --offline
+
+echo "==> testkit is warning-clean under -Dwarnings"
+RUSTFLAGS="-Dwarnings" cargo check -p movr-testkit --all-targets --offline
+
+echo "==> bench smoke (--quick profile, JSON lines)"
+out="$(cargo bench -p movr-bench --offline -- --quick 2>/dev/null | grep '"median_ns"')"
+echo "$out"
+lines="$(printf '%s\n' "$out" | wc -l)"
+if [ "$lines" -lt 10 ]; then
+    echo "expected >= 10 bench JSON lines, got $lines" >&2
+    exit 1
+fi
+
+echo "==> OK"

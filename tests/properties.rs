@@ -5,6 +5,10 @@
 //! controller across arbitrary beam postures and devices, geometric sanity
 //! of the path tracer, monotonicity of the rate ladder, conservation in
 //! the dB algebra.
+//!
+//! The runner is the in-tree `movr-testkit` harness (seeded generation,
+//! greedy shrinking); every property runs at least the default 96 cases,
+//! overridable with `MOVR_TESTKIT_CASES` / `MOVR_TESTKIT_SEED`.
 
 use movr::gain_control::{run_gain_control, GainControlConfig};
 use movr::reflector::MovrReflector;
@@ -13,13 +17,15 @@ use movr_phased_array::UniformLinearArray;
 use movr_radio::RateTable;
 use movr_rfsim::{trace_paths, BodyPart, Obstacle, Room, TraceConfig};
 use movr_sim::{EventQueue, SimTime};
-use proptest::prelude::*;
+use movr_testkit::{
+    choice, f64_range, prop_assert, prop_assert_eq, prop_assume, property, u64_range,
+    usize_range, vec_of,
+};
 
-proptest! {
-    // ---------------- math ----------------
+// ---------------- math ----------------
 
-    #[test]
-    fn wrap_180_is_idempotent_and_in_range(deg in -1e4f64..1e4) {
+property! {
+    fn wrap_180_is_idempotent_and_in_range(deg in f64_range(-1e4, 1e4)) {
         let w = wrap_deg_180(deg);
         prop_assert!((-180.0..=180.0).contains(&w));
         prop_assert!((wrap_deg_180(w) - w).abs() < 1e-9);
@@ -27,20 +33,27 @@ proptest! {
         let diff = (deg - w) / 360.0;
         prop_assert!((diff - diff.round()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn db_roundtrip(db in -120.0f64..60.0) {
+property! {
+    fn db_roundtrip(db in f64_range(-120.0, 60.0)) {
         prop_assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn db_addition_is_linear_multiplication(a in -60.0f64..30.0, b in -60.0f64..30.0) {
+property! {
+    fn db_addition_is_linear_multiplication(
+        a in f64_range(-60.0, 30.0),
+        b in f64_range(-60.0, 30.0),
+    ) {
         let lin = db_to_linear(a) * db_to_linear(b);
         prop_assert!((linear_to_db(lin) - (a + b)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn cdf_is_monotone_and_normalised(mut xs in prop::collection::vec(-100.0f64..100.0, 1..64)) {
+property! {
+    fn cdf_is_monotone_and_normalised(xs in vec_of(f64_range(-100.0, 100.0), 1, 63)) {
+        let mut xs = xs;
         xs.iter_mut().for_each(|x| *x = (*x * 100.0).round() / 100.0);
         let cdf = Cdf::new(xs.clone());
         prop_assert_eq!(cdf.len(), xs.len());
@@ -54,14 +67,15 @@ proptest! {
         }
         prop_assert!(cdf.min() <= cdf.median() && cdf.median() <= cdf.max());
     }
+}
 
-    // ---------------- phased array ----------------
+// ---------------- phased array ----------------
 
-    #[test]
+property! {
     fn array_factor_bounded_by_unity(
-        n in 2usize..24,
-        steer in -50.0f64..50.0,
-        theta in -89.0f64..89.0,
+        n in usize_range(2, 23),
+        steer in f64_range(-50.0, 50.0),
+        theta in f64_range(-89.0, 89.0),
     ) {
         let arr = UniformLinearArray::new(
             n,
@@ -71,9 +85,10 @@ proptest! {
         );
         prop_assert!(arr.array_factor(steer, theta).abs() <= 1.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn steered_gain_is_near_best(steer in -45.0f64..45.0) {
+property! {
+    fn steered_gain_is_near_best(steer in f64_range(-45.0, 45.0)) {
         let arr = UniformLinearArray::paper_array();
         let at_steer = arr.gain_dbi(steer, steer);
         let mut best = f64::NEG_INFINITY;
@@ -84,13 +99,14 @@ proptest! {
         }
         prop_assert!(best - at_steer < 1.5, "steer={steer} best={best} at={at_steer}");
     }
+}
 
-    // ---------------- ray tracing ----------------
+// ---------------- ray tracing ----------------
 
-    #[test]
+property! {
     fn traced_paths_are_geometrically_sane(
-        tx_x in 0.3f64..4.7, tx_y in 0.3f64..4.7,
-        rx_x in 0.3f64..4.7, rx_y in 0.3f64..4.7,
+        tx_x in f64_range(0.3, 4.7), tx_y in f64_range(0.3, 4.7),
+        rx_x in f64_range(0.3, 4.7), rx_y in f64_range(0.3, 4.7),
     ) {
         let room = Room::paper_office();
         let tx = Vec2::new(tx_x, tx_y);
@@ -112,13 +128,13 @@ proptest! {
         // The LOS path is exactly the straight line.
         prop_assert!((paths[0].length_m - direct).abs() < 1e-9);
     }
+}
 
-    #[test]
+property! {
     fn shadow_loss_bounded_and_monotone(
-        offset in 0.0f64..0.6,
-        kind_idx in 0usize..3,
+        offset in f64_range(0.0, 0.6),
+        kind in choice(vec![BodyPart::Hand, BodyPart::Head, BodyPart::Torso]),
     ) {
-        let kind = [BodyPart::Hand, BodyPart::Head, BodyPart::Torso][kind_idx];
         let seg = movr_rfsim::Segment::new(Vec2::new(0.0, 0.0), Vec2::new(4.0, 0.0));
         let near = Obstacle::new(kind, Vec2::new(2.0, offset));
         let far = Obstacle::new(kind, Vec2::new(2.0, offset + 0.05));
@@ -127,23 +143,28 @@ proptest! {
         prop_assert!((0.0..=kind.shadow_loss_db()).contains(&l_near));
         prop_assert!(l_far <= l_near + 1e-9, "loss must not grow with distance");
     }
+}
 
-    // ---------------- rate ladder ----------------
+// ---------------- rate ladder ----------------
 
-    #[test]
-    fn rate_is_monotone_in_snr_prop(a in -10.0f64..40.0, b in -10.0f64..40.0) {
+property! {
+    fn rate_is_monotone_in_snr_prop(
+        a in f64_range(-10.0, 40.0),
+        b in f64_range(-10.0, 40.0),
+    ) {
         let t = RateTable;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(t.rate_mbps(lo) <= t.rate_mbps(hi));
     }
+}
 
-    // ---------------- gain control ----------------
+// ---------------- gain control ----------------
 
-    #[test]
+property! {
     fn gain_control_never_saturates(
-        seed in 0u64..500,
-        rx_local in -45.0f64..45.0,
-        tx_local in -45.0f64..45.0,
+        seed in u64_range(0, 499),
+        rx_local in f64_range(-45.0, 45.0),
+        tx_local in f64_range(-45.0, 45.0),
     ) {
         let mut r = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, seed);
         r.steer_rx(-70.0 + rx_local);
@@ -154,14 +175,15 @@ proptest! {
             "seed={seed} chose {} vs loop {}", res.chosen_gain_db, r.loop_attenuation_db());
         prop_assert!(res.chosen_gain_db < r.loop_attenuation_db());
     }
+}
 
-    // ---------------- tapers ----------------
+// ---------------- tapers ----------------
 
-    #[test]
+property! {
     fn taper_weights_positive_efficiency_bounded(
-        n in 1usize..32,
-        pedestal in 0.0f64..1.0,
-        kind in 0usize..3,
+        n in usize_range(1, 31),
+        pedestal in f64_range(0.0, 1.0),
+        kind in usize_range(0, 2),
     ) {
         use movr_phased_array::Taper;
         let taper = [
@@ -175,11 +197,15 @@ proptest! {
         let eff = taper.efficiency(n);
         prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-12, "eff={eff}");
     }
+}
 
-    // ---------------- framing ----------------
+// ---------------- framing ----------------
 
-    #[test]
-    fn burst_airtime_at_least_ideal(bits in 1u64..400_000_000, mcs_idx in 1usize..16) {
+property! {
+    fn burst_airtime_at_least_ideal(
+        bits in u64_range(1, 399_999_999),
+        mcs_idx in usize_range(1, 15),
+    ) {
         use movr_radio::FrameConfig;
         let cfg = FrameConfig::default();
         let mcs = &RateTable.entries()[mcs_idx];
@@ -192,13 +218,14 @@ proptest! {
         let max_overhead = n * 6e-6;
         prop_assert!(t <= ideal + max_overhead, "t={t} ideal={ideal} n={n}");
     }
+}
 
-    // ---------------- polygon rooms ----------------
+// ---------------- polygon rooms ----------------
 
-    #[test]
+property! {
     fn polygon_room_contains_centroid_and_rejects_outside(
-        w in 2.0f64..8.0,
-        d in 2.0f64..8.0,
+        w in f64_range(2.0, 8.0),
+        d in f64_range(2.0, 8.0),
     ) {
         use movr_rfsim::Material;
         let room = movr_rfsim::Room::rectangular(w, d, Material::Drywall);
@@ -209,11 +236,12 @@ proptest! {
         let p = room.clamp_inside(movr_math::Vec2::new(w * 2.0, -d), 0.3);
         prop_assert!(room.contains(p));
     }
+}
 
-    #[test]
+property! {
     fn l_shaped_paths_never_cross_walls(
-        tx_x in 0.4f64..2.6, tx_y in 0.4f64..4.6,
-        rx_x in 0.4f64..4.6, rx_y in 0.4f64..2.6,
+        tx_x in f64_range(0.4, 2.6), tx_y in f64_range(0.4, 4.6),
+        rx_x in f64_range(0.4, 4.6), rx_y in f64_range(0.4, 2.6),
     ) {
         let room = Room::l_shaped_studio();
         let tx = Vec2::new(tx_x, tx_y);
@@ -233,11 +261,12 @@ proptest! {
             }
         }
     }
+}
 
-    // ---------------- rate adaptation ----------------
+// ---------------- rate adaptation ----------------
 
-    #[test]
-    fn hysteresis_never_selects_undecodable(reports in prop::collection::vec(-10.0f64..35.0, 1..64)) {
+property! {
+    fn hysteresis_never_selects_undecodable(reports in vec_of(f64_range(-10.0, 35.0), 1, 63)) {
         use movr_radio::{Hysteresis, RateAdapter};
         let mut h = Hysteresis::new(1.0, 3, 0.0);
         for &snr in &reports {
@@ -252,14 +281,15 @@ proptest! {
             }
         }
     }
+}
 
-    // ---------------- predictor ----------------
+// ---------------- predictor ----------------
 
-    #[test]
+property! {
     fn predictor_extrapolation_is_exact_for_linear_motion(
-        vx in -2.0f64..2.0,
-        vy in -2.0f64..2.0,
-        w in -120.0f64..120.0,
+        vx in f64_range(-2.0, 2.0),
+        vy in f64_range(-2.0, 2.0),
+        w in f64_range(-120.0, 120.0),
     ) {
         use movr::tracking::BeamPredictor;
         use movr_motion::TrackedPose;
@@ -279,11 +309,12 @@ proptest! {
         prop_assert!((pred.center.y - (2.0 + vy * 0.05)).abs() < 1e-6);
         prop_assert!(movr_math::wrap_deg_180(pred.yaw_deg - w * 0.05).abs() < 1e-6);
     }
+}
 
-    // ---------------- event queue ----------------
+// ---------------- event queue ----------------
 
-    #[test]
-    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..64)) {
+property! {
+    fn event_queue_pops_sorted(times in vec_of(u64_range(0, 999_999), 1, 63)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(SimTime::from_nanos(t), i);
