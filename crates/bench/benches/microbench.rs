@@ -132,9 +132,34 @@ fn bench_session_second(opts: &BenchOptions) -> Vec<BenchReport> {
     })]
 }
 
+fn bench_obs_overhead(opts: &BenchOptions) -> Vec<BenchReport> {
+    // The observability tax on a 60 s session (5 400 frames). The null
+    // recorder is the always-on configuration: its cost over the plain
+    // session (`session_one_second_90fps` × 60) must stay within noise —
+    // one virtual `enabled()` call per would-be event. The memory
+    // recorder bounds the fully-instrumented cost.
+    use movr::session::{run_session_recorded, SessionConfig, Strategy};
+    use movr_motion::StaticScene;
+    use movr_obs::{MemoryRecorder, NullRecorder};
+    let center = Vec2::new(4.0, 2.5);
+    let yaw = center.bearing_deg_to(Vec2::new(0.5, 2.5));
+    let trace = StaticScene::new(PlayerState::standing(center, yaw), 60.0);
+    let cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+    vec![
+        bench_fn("obs_session_60s_null", opts, || {
+            run_session_recorded(&trace, &cfg, &mut NullRecorder)
+        }),
+        bench_fn("obs_session_60s_memory", opts, || {
+            let mut rec = MemoryRecorder::new();
+            let out = run_session_recorded(&trace, &cfg, &mut rec);
+            (out, rec.len())
+        }),
+    ]
+}
+
 fn main() {
     let opts = BenchOptions::from_args(std::env::args().skip(1));
-    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 7] = [
+    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 8] = [
         bench_link_budget,
         bench_relay_budget,
         bench_gain_control,
@@ -142,6 +167,7 @@ fn main() {
         bench_trace_paths,
         bench_alignment_sweep,
         bench_session_second,
+        bench_obs_overhead,
     ];
     for suite in suites {
         for report in suite(&opts) {

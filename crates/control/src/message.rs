@@ -32,6 +32,22 @@ pub enum ControlMessage {
 }
 
 impl ControlMessage {
+    /// Stable short name of the message variant, for structured event
+    /// fields and log lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ControlMessage::SetReflectorBeams { .. } => "set_reflector_beams",
+            ControlMessage::SetAmplifierGain { .. } => "set_amplifier_gain",
+            ControlMessage::StartModulation { .. } => "start_modulation",
+            ControlMessage::StopModulation => "stop_modulation",
+            ControlMessage::RunGainControl => "run_gain_control",
+            ControlMessage::GainControlDone { .. } => "gain_control_done",
+            ControlMessage::SnrReport { .. } => "snr_report",
+            ControlMessage::SetHeadsetBeam { .. } => "set_headset_beam",
+            ControlMessage::Ack => "ack",
+        }
+    }
+
     /// Rough on-air size in bytes (for airtime accounting on the slow
     /// link). All messages fit one BLE data PDU.
     pub fn size_bytes(&self) -> usize {

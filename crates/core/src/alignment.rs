@@ -24,6 +24,7 @@
 use crate::reflector::MovrReflector;
 use crate::relay::{relay_link, round_trip_reflection_dbm};
 use movr_math::SimRng;
+use movr_obs::{Event, NullRecorder, Recorder};
 use movr_phased_array::Codebook;
 use movr_radio::{RadioEndpoint, ToneProbe};
 use movr_rfsim::Scene;
@@ -87,19 +88,47 @@ pub struct AlignmentResult {
 /// freely); callers keep their own copies of the operational settings.
 pub fn estimate_incidence(
     scene: &Scene,
+    ap: RadioEndpoint,
+    reflector: MovrReflector,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> AlignmentResult {
+    estimate_incidence_recorded(scene, ap, reflector, config, rng, SimTime::ZERO, &mut NullRecorder)
+}
+
+/// [`estimate_incidence`] with observability. The sweep is wrapped in an
+/// `alignment_sweep` span starting at `start`; a sim-time cursor advances
+/// by `beam_command_latency` per reflector beam change and by `dwell` per
+/// (θ₁, θ₂) probe, so every `beam_probe` event (`theta1_deg`,
+/// `theta2_deg`, `power_dbm`) is stamped with the instant its measurement
+/// completes. The winning pair is announced as `alignment_chosen`. The
+/// estimate itself is bit-identical to the plain function: the recorder
+/// draws nothing from `rng`.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_incidence_recorded(
+    scene: &Scene,
     mut ap: RadioEndpoint,
     mut reflector: MovrReflector,
     config: &AlignmentConfig,
     rng: &mut SimRng,
+    start: SimTime,
+    rec: &mut dyn Recorder,
 ) -> AlignmentResult {
     reflector.set_gain_db(config.probe_gain_db);
     reflector.set_modulating(config.modulated);
 
+    let span = if rec.enabled() {
+        Some(rec.start_span(start, "alignment_sweep"))
+    } else {
+        None
+    };
+    let mut cursor = start;
     let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
     let mut measurements = 0usize;
 
     for &theta1 in config.reflector_codebook.beams() {
         reflector.steer_both(theta1);
+        cursor += config.beam_command_latency;
         for &theta2 in config.ap_codebook.beams() {
             ap.steer_to(theta2);
             let reflected = round_trip_reflection_dbm(scene, &ap, &reflector)
@@ -114,6 +143,15 @@ pub fn estimate_incidence(
                     .measure_unmodulated(reflected, ap.tx_power_dbm(), rng)
             };
             measurements += 1;
+            cursor += config.dwell;
+            if rec.enabled() {
+                rec.record(
+                    Event::new(cursor, "beam_probe")
+                        .with("theta1_deg", theta1)
+                        .with("theta2_deg", theta2)
+                        .with("power_dbm", reading.power_dbm),
+                );
+            }
             if reading.power_dbm > best.0 {
                 best = (reading.power_dbm, theta1, theta2);
             }
@@ -125,6 +163,18 @@ pub fn estimate_incidence(
     let elapsed = SimTime::from_nanos(
         n1 * config.beam_command_latency.as_nanos() + n1 * n2 * config.dwell.as_nanos(),
     );
+    debug_assert_eq!(start + elapsed, cursor, "cursor must mirror the cost model");
+
+    if let Some(id) = span {
+        rec.record(
+            Event::new(cursor, "alignment_chosen")
+                .with("reflector_deg", best.1)
+                .with("ap_deg", best.2)
+                .with("peak_dbm", best.0)
+                .with("measurements", measurements),
+        );
+        rec.end_span(cursor, "alignment_sweep", id);
+    }
 
     AlignmentResult {
         reflector_angle_deg: best.1,
@@ -151,6 +201,33 @@ pub fn estimate_incidence_hierarchical(
     coarse_step_deg: f64,
     rng: &mut SimRng,
 ) -> AlignmentResult {
+    estimate_incidence_hierarchical_recorded(
+        scene,
+        ap,
+        reflector,
+        config,
+        coarse_step_deg,
+        rng,
+        SimTime::ZERO,
+        &mut NullRecorder,
+    )
+}
+
+/// [`estimate_incidence_hierarchical`] with observability: each stage
+/// runs as its own recorded sweep (two `alignment_sweep` spans back to
+/// back — the fine stage starts where the coarse stage's cost model
+/// ends), so a timeline shows exactly where the measurement budget went.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_incidence_hierarchical_recorded(
+    scene: &Scene,
+    ap: RadioEndpoint,
+    reflector: MovrReflector,
+    config: &AlignmentConfig,
+    coarse_step_deg: f64,
+    rng: &mut SimRng,
+    start: SimTime,
+    rec: &mut dyn Recorder,
+) -> AlignmentResult {
     assert!(coarse_step_deg >= 1.0, "coarse step below the fine step");
     let full_r = config.reflector_codebook.beams();
     let full_a = config.ap_codebook.beams();
@@ -163,7 +240,8 @@ pub fn estimate_incidence_hierarchical(
         ap_codebook: Codebook::sweep(a_lo, a_hi, coarse_step_deg),
         ..config.clone()
     };
-    let coarse = estimate_incidence(scene, ap, reflector.clone(), &coarse_cfg, rng);
+    let coarse =
+        estimate_incidence_recorded(scene, ap, reflector.clone(), &coarse_cfg, rng, start, rec);
 
     // Stage 2: fine, one coarse cell around the winner (clamped to the
     // original sweep bounds).
@@ -180,7 +258,15 @@ pub fn estimate_incidence_hierarchical(
         ),
         ..config.clone()
     };
-    let fine = estimate_incidence(scene, ap, reflector, &fine_cfg, rng);
+    let fine = estimate_incidence_recorded(
+        scene,
+        ap,
+        reflector,
+        &fine_cfg,
+        rng,
+        start + coarse.elapsed,
+        rec,
+    );
 
     AlignmentResult {
         reflector_angle_deg: fine.reflector_angle_deg,
@@ -214,32 +300,82 @@ pub struct ReflectionResult {
 pub fn estimate_reflection(
     scene: &Scene,
     ap: &RadioEndpoint,
+    reflector: MovrReflector,
+    headset: RadioEndpoint,
+    tx_codebook: &Codebook,
+    headset_codebook: &Codebook,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> ReflectionResult {
+    estimate_reflection_recorded(
+        scene,
+        ap,
+        reflector,
+        headset,
+        tx_codebook,
+        headset_codebook,
+        config,
+        rng,
+        SimTime::ZERO,
+        &mut NullRecorder,
+    )
+}
+
+/// [`estimate_reflection`] with observability: a `reflection_sweep` span
+/// wraps the search; each candidate TX beam first runs the recorded §4.2
+/// gain loop (so its `gain_ramp` span nests inside), then each headset
+/// probe emits `reflect_probe` (`tx_deg`, `rx_deg`, `snr_db`); the
+/// winner is announced as `reflection_chosen`.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_reflection_recorded(
+    scene: &Scene,
+    ap: &RadioEndpoint,
     mut reflector: MovrReflector,
     mut headset: RadioEndpoint,
     tx_codebook: &Codebook,
     headset_codebook: &Codebook,
     config: &AlignmentConfig,
     rng: &mut SimRng,
+    start: SimTime,
+    rec: &mut dyn Recorder,
 ) -> ReflectionResult {
     reflector.set_modulating(false);
+    let span = if rec.enabled() {
+        Some(rec.start_span(start, "reflection_sweep"))
+    } else {
+        None
+    };
+    let mut cursor = start;
     let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
     let mut measurements = 0usize;
     let snr_sigma_db = 0.5;
 
     for &tx_deg in tx_codebook.beams() {
         reflector.steer_tx(tx_deg);
+        cursor += config.beam_command_latency;
         // Each beam pair has its own leakage; re-run the §4.2 loop so the
         // candidate is evaluated at the gain it would actually be served
         // with.
-        crate::gain_control::run_gain_control(
+        crate::gain_control::run_gain_control_recorded(
             &mut reflector,
             &crate::gain_control::GainControlConfig::default(),
+            cursor,
+            rec,
         );
         for &rx_deg in headset_codebook.beams() {
             headset.steer_to(rx_deg);
             let budget = relay_link(scene, ap, &reflector, &headset);
             let reported = budget.end_snr_db + rng.normal(0.0, snr_sigma_db);
             measurements += 1;
+            cursor += config.dwell;
+            if rec.enabled() {
+                rec.record(
+                    Event::new(cursor, "reflect_probe")
+                        .with("tx_deg", tx_deg)
+                        .with("rx_deg", rx_deg)
+                        .with("snr_db", reported),
+                );
+            }
             if reported > best.0 {
                 best = (reported, tx_deg, rx_deg);
             }
@@ -251,6 +387,18 @@ pub fn estimate_reflection(
     let elapsed = SimTime::from_nanos(
         n1 * config.beam_command_latency.as_nanos() + n1 * n2 * config.dwell.as_nanos(),
     );
+    debug_assert_eq!(start + elapsed, cursor, "cursor must mirror the cost model");
+
+    if let Some(id) = span {
+        rec.record(
+            Event::new(cursor, "reflection_chosen")
+                .with("tx_deg", best.1)
+                .with("rx_deg", best.2)
+                .with("peak_snr_db", best.0)
+                .with("measurements", measurements),
+        );
+        rec.end_span(cursor, "reflection_sweep", id);
+    }
 
     ReflectionResult {
         tx_angle_deg: best.1,
@@ -410,6 +558,107 @@ mod tests {
             full.measurements
         );
         assert!(hier.elapsed < full.elapsed);
+    }
+
+    #[test]
+    fn recorded_sweep_timeline_matches_cost_model() {
+        use movr_obs::MemoryRecorder;
+        let (scene, ap, reflector) = setup();
+        let cfg = coarse_config();
+        let start = SimTime::from_millis(100);
+
+        let mut rng_a = SimRng::seed_from_u64(4);
+        let plain = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_a);
+
+        let mut rng_b = SimRng::seed_from_u64(4);
+        let mut rec = MemoryRecorder::new();
+        let rich = estimate_incidence_recorded(
+            &scene, ap, reflector, &cfg, &mut rng_b, start, &mut rec,
+        );
+
+        // Observability must not change the answer.
+        assert_eq!(plain.reflector_angle_deg, rich.reflector_angle_deg);
+        assert_eq!(plain.ap_angle_deg, rich.ap_angle_deg);
+        assert_eq!(plain.peak_power_dbm, rich.peak_power_dbm);
+
+        // One probe event per measurement, all inside the sweep span,
+        // which covers exactly the cost model's elapsed time.
+        assert_eq!(rec.of_kind("beam_probe").count(), rich.measurements);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        let (name, t0, t1) = spans[0];
+        assert_eq!(name, "alignment_sweep");
+        assert_eq!(t0, start);
+        assert_eq!(t1, start + rich.elapsed);
+        assert!(rec
+            .of_kind("beam_probe")
+            .all(|e| t0 < e.t && e.t <= t1), "probes inside the span");
+        assert_eq!(rec.of_kind("alignment_chosen").count(), 1);
+    }
+
+    #[test]
+    fn recorded_hierarchical_emits_two_back_to_back_sweeps() {
+        use movr_obs::MemoryRecorder;
+        let (scene, ap, reflector) = setup();
+        let truth = reflector.position().bearing_deg_to(ap.position());
+        let truth_ap = ap.position().bearing_deg_to(reflector.position());
+        let cfg = AlignmentConfig {
+            ap_codebook: Codebook::sweep(truth_ap - 20.0, truth_ap + 20.0, 1.0),
+            reflector_codebook: Codebook::sweep(truth - 20.0, truth + 20.0, 1.0),
+            ..Default::default()
+        };
+        let mut rng = SimRng::seed_from_u64(21);
+        let mut rec = MemoryRecorder::new();
+        let r = estimate_incidence_hierarchical_recorded(
+            &scene, ap, reflector, &cfg, 5.0, &mut rng, SimTime::ZERO, &mut rec,
+        );
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2, "coarse + fine stages");
+        let (_, c0, c1) = spans[0];
+        let (_, f0, f1) = spans[1];
+        assert_eq!(c0, SimTime::ZERO);
+        assert_eq!(f0, c1, "fine stage starts where coarse ends");
+        assert_eq!(f1, r.elapsed, "total span covers the combined cost");
+        assert_eq!(rec.of_kind("beam_probe").count(), r.measurements);
+    }
+
+    #[test]
+    fn recorded_reflection_nests_gain_ramps() {
+        use movr_obs::MemoryRecorder;
+        let (scene, mut ap, mut reflector) = setup();
+        let hs_pos = Vec2::new(3.5, 1.0);
+        let headset =
+            RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(reflector.position()));
+        ap.steer_toward(reflector.position());
+        reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));
+        let truth_tx = reflector.position().bearing_deg_to(headset.position());
+        let truth_hs = headset.position().bearing_deg_to(reflector.position());
+        let tx_cb = Codebook::sweep(truth_tx - 9.0, truth_tx + 9.0, 3.0);
+        let hs_cb = Codebook::sweep(truth_hs - 9.0, truth_hs + 9.0, 3.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut rec = MemoryRecorder::new();
+        let r = estimate_reflection_recorded(
+            &scene,
+            &ap,
+            reflector,
+            headset,
+            &tx_cb,
+            &hs_cb,
+            &AlignmentConfig::default(),
+            &mut rng,
+            SimTime::ZERO,
+            &mut rec,
+        );
+        assert_eq!(rec.of_kind("reflect_probe").count(), r.measurements);
+        // One §4.2 gain ramp per candidate TX beam, inside the sweep.
+        let spans = rec.spans();
+        let ramps = spans.iter().filter(|s| s.0 == "gain_ramp").count();
+        assert_eq!(ramps, tx_cb.len());
+        assert_eq!(
+            spans.iter().filter(|s| s.0 == "reflection_sweep").count(),
+            1
+        );
+        assert_eq!(rec.of_kind("reflection_chosen").count(), 1);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! can actually observe (the quantised, noisy current sensor).
 
 use crate::reflector::MovrReflector;
+use movr_obs::{Event, NullRecorder, Recorder};
+use movr_sim::SimTime;
 
 /// Gain-control loop parameters.
 #[derive(Debug, Clone, Copy)]
@@ -73,6 +75,23 @@ pub fn run_gain_control(
     reflector: &mut MovrReflector,
     config: &GainControlConfig,
 ) -> GainControlResult {
+    run_gain_control_recorded(reflector, config, SimTime::ZERO, &mut NullRecorder)
+}
+
+/// [`run_gain_control`] with observability: wraps the ramp in a
+/// `gain_ramp` span at `now`, emits one `gain_step` event per probed
+/// gain setting (`gain_db`, `current_a`), and closes with either
+/// `gain_backoff` (knee found; `chosen_gain_db`, `knee_gain_db`) or
+/// `gain_ceiling` (`chosen_gain_db`). The loop itself is modelled as
+/// instantaneous, so every event carries the same timestamp — the span
+/// conveys structure, not duration. Identical control behaviour: the
+/// recorder never reads the sensor or the RNG.
+pub fn run_gain_control_recorded(
+    reflector: &mut MovrReflector,
+    config: &GainControlConfig,
+    now: SimTime,
+    rec: &mut dyn Recorder,
+) -> GainControlResult {
     assert!(config.step_db > 0.0, "gain step must be positive");
     assert!(config.reads_per_step >= 1, "need at least one read per step");
 
@@ -87,14 +106,36 @@ pub fn run_gain_control(
         acc / config.reads_per_step as f64
     };
 
+    let span = if rec.enabled() {
+        Some(rec.start_span(now, "gain_ramp"))
+    } else {
+        None
+    };
+    let step = |rec: &mut dyn Recorder, gain: f64, current: f64| {
+        if rec.enabled() {
+            rec.record(
+                Event::new(now, "gain_step")
+                    .with("gain_db", gain)
+                    .with("current_a", current),
+            );
+        }
+    };
+
     let mut gain = reflector.set_gain_db(min_gain);
     let mut prev_current = read_avg(reflector);
     let mut trace = vec![(gain, prev_current)];
+    step(rec, gain, prev_current);
 
     loop {
         if gain >= max_gain {
             // Ceiling reached without a knee: the leakage is deeper than
             // the amplifier can chase; the maximum gain is safe.
+            if let Some(id) = span {
+                rec.record(
+                    Event::new(now, "gain_ceiling").with("chosen_gain_db", gain),
+                );
+                rec.end_span(now, "gain_ramp", id);
+            }
             return GainControlResult {
                 chosen_gain_db: gain,
                 knee_detected: false,
@@ -104,11 +145,20 @@ pub fn run_gain_control(
         gain = reflector.set_gain_db(gain + config.step_db);
         let current = read_avg(reflector);
         trace.push((gain, current));
+        step(rec, gain, current);
 
         if current - prev_current > config.jump_threshold_a {
             // Knee: step back below the last safe gain with margin.
             let safe = (gain - config.step_db - config.backoff_db).max(min_gain);
             let chosen = reflector.set_gain_db(safe);
+            if let Some(id) = span {
+                rec.record(
+                    Event::new(now, "gain_backoff")
+                        .with("chosen_gain_db", chosen)
+                        .with("knee_gain_db", gain),
+                );
+                rec.end_span(now, "gain_ramp", id);
+            }
             return GainControlResult {
                 chosen_gain_db: chosen,
                 knee_detected: true,
@@ -210,6 +260,34 @@ mod tests {
         let res = run_gain_control(&mut r, &GainControlConfig::default());
         assert!(res.chosen_gain_db <= r.amplifier().max_gain_db);
         assert!(res.chosen_gain_db >= r.amplifier().min_gain_db);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_and_traces_every_step() {
+        use movr_obs::MemoryRecorder;
+        use movr_sim::SimTime;
+        // Same seed: the recorded run must reproduce the plain run's
+        // trajectory exactly, and emit one gain_step per trace point.
+        let plain = run_gain_control(&mut device(5), &GainControlConfig::default());
+        let mut rec = MemoryRecorder::new();
+        let recorded = run_gain_control_recorded(
+            &mut device(5),
+            &GainControlConfig::default(),
+            SimTime::from_millis(20),
+            &mut rec,
+        );
+        assert_eq!(plain.chosen_gain_db, recorded.chosen_gain_db);
+        assert_eq!(plain.knee_detected, recorded.knee_detected);
+        assert_eq!(plain.trace, recorded.trace);
+        assert_eq!(rec.of_kind("gain_step").count(), recorded.trace.len());
+        let spans = rec.spans();
+        assert_eq!(spans, [("gain_ramp", SimTime::from_millis(20), SimTime::from_millis(20))]);
+        let terminal = if recorded.knee_detected {
+            "gain_backoff"
+        } else {
+            "gain_ceiling"
+        };
+        assert_eq!(rec.of_kind(terminal).count(), 1);
     }
 
     #[test]

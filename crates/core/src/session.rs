@@ -9,6 +9,7 @@
 use crate::system::{LinkMode, MovrSystem, SystemConfig};
 use movr_math::SimRng;
 use movr_motion::MotionTrace;
+use movr_obs::{Event, Histogram, MetricsRegistry, MetricsSnapshot, NullRecorder, Recorder};
 use movr_radio::{
     FrameConfig, Hysteresis, McsEntry, Oracle, PerModel, RateAdapter, SnrThreshold,
 };
@@ -99,11 +100,24 @@ impl AdapterImpl {
         }
     }
 
-    fn select(&mut self, report_db: f64) -> Option<&'static McsEntry> {
+    fn select(
+        &mut self,
+        now: SimTime,
+        report_db: f64,
+        rec: &mut dyn Recorder,
+    ) -> Option<&'static McsEntry> {
         match self {
-            AdapterImpl::Oracle(a) => a.on_snr_report(report_db),
-            AdapterImpl::Threshold(a) => a.on_snr_report(report_db),
-            AdapterImpl::Hysteresis(a) => a.on_snr_report(report_db),
+            AdapterImpl::Oracle(a) => a.on_snr_report_recorded(now, report_db, rec),
+            AdapterImpl::Threshold(a) => a.on_snr_report_recorded(now, report_db, rec),
+            AdapterImpl::Hysteresis(a) => a.on_snr_report_recorded(now, report_db, rec),
+        }
+    }
+
+    fn current_index(&self) -> Option<usize> {
+        match self {
+            AdapterImpl::Oracle(a) => a.current().map(|m| m.index),
+            AdapterImpl::Threshold(a) => a.current().map(|m| m.index),
+            AdapterImpl::Hysteresis(a) => a.current().map(|m| m.index),
         }
     }
 }
@@ -125,6 +139,11 @@ pub struct SessionOutcome {
     pub realignments: usize,
     /// Fraction of frames served via a reflector.
     pub reflector_fraction: f64,
+    /// Structured session metrics: counters (`frames_*`, `mode_switches`,
+    /// `rate_up`, ...) and histograms (`frame_snr_db`, `frame_airtime_ns`,
+    /// `realign_stall_ns`). Always populated — the registry is part of
+    /// the session's accounting, independent of any event recorder.
+    pub metrics: MetricsSnapshot,
 }
 
 impl SessionOutcome {
@@ -146,14 +165,50 @@ pub fn run_session(trace: &dyn MotionTrace, config: &SessionConfig) -> SessionOu
     run_session_on(MovrSystem::paper_setup(config.system), trace, config)
 }
 
+/// [`run_session`] with a recorder attached (see
+/// [`run_session_on_recorded`] for the event vocabulary).
+pub fn run_session_recorded(
+    trace: &dyn MotionTrace,
+    config: &SessionConfig,
+    rec: &mut dyn Recorder,
+) -> SessionOutcome {
+    run_session_on_recorded(MovrSystem::paper_setup(config.system), trace, config, rec)
+}
+
 /// Runs a session on a caller-built deployment — multi-reflector
 /// layouts, L-shaped rooms, non-default calibration. The system should
 /// have been built with `config.system` (or equivalent) so its tracking
 /// and realignment behaviour matches the session's accounting.
 pub fn run_session_on(
+    system: MovrSystem,
+    trace: &dyn MotionTrace,
+    config: &SessionConfig,
+) -> SessionOutcome {
+    run_session_on_recorded(system, trace, config, &mut NullRecorder)
+}
+
+/// Stable short name for a link mode, for event fields.
+fn mode_name(mode: LinkMode) -> &'static str {
+    match mode {
+        LinkMode::Direct => "direct",
+        LinkMode::Reflector(_) => "reflector",
+    }
+}
+
+/// [`run_session_on`] with observability. Per frame it emits one `frame`
+/// event (`delivered`, `snr_db`, `mcs` when transmitting, `stall_ns`,
+/// `mode`/`reflector` for MoVR strategies); transitions add
+/// `mode_switch`, `realign` (with a `realign_stall` span covering the
+/// blocked interval), `stall_recovered` (with the run length the player
+/// just sat through), and the rate-adaptation / gain-control events of
+/// the layers underneath. The outcome — including the `metrics`
+/// snapshot, which is collected whether or not events are recorded — is
+/// bit-identical under any recorder: observation never draws RNG.
+pub fn run_session_on_recorded(
     mut system: MovrSystem,
     trace: &dyn MotionTrace,
     config: &SessionConfig,
+    rec: &mut dyn Recorder,
 ) -> SessionOutcome {
     let mut adapter = AdapterImpl::new(config.rate_policy);
     let per_model = PerModel::default();
@@ -169,6 +224,17 @@ pub fn run_session_on(
     // The link is unusable until this instant while a sweep is running.
     let mut blocked_until = SimTime::ZERO;
 
+    let mut metrics = MetricsRegistry::new();
+    fn snr_hist(m: &mut MetricsRegistry) -> &mut Histogram {
+        m.histogram("frame_snr_db", || Histogram::linear(-10.0, 50.0, 60))
+    }
+    fn airtime_hist(m: &mut MetricsRegistry) -> &mut Histogram {
+        m.histogram("frame_airtime_ns", || Histogram::log_spaced(1e5, 1e8, 30))
+    }
+    fn stall_hist(m: &mut MetricsRegistry) -> &mut Histogram {
+        m.histogram("realign_stall_ns", || Histogram::log_spaced(1e6, 1e10, 24))
+    }
+
     let mut queue: EventQueue<SessionEvent> = EventQueue::new();
     queue.schedule_at(SimTime::ZERO, SessionEvent::Frame);
     let end = SimTime::from_secs_f64(trace.duration_s());
@@ -177,26 +243,58 @@ pub fn run_session_on(
         let t_s = now.as_secs_f64();
         let world = trace.world_at(t_s);
         frames += 1;
+        metrics.inc("frames_total");
 
+        let mut frame_mode: Option<LinkMode> = None;
         let snr_db = match config.strategy {
             Strategy::Tethered => f64::INFINITY,
             Strategy::DirectOnly => system.evaluate_direct(&world),
             Strategy::Movr { .. } => {
-                let d = system.evaluate_at(t_s, &world);
+                let d = system.evaluate_at_recorded(t_s, &world, rec);
                 if d.realigned {
                     realignments += 1;
+                    metrics.inc("realignments");
                     let done = now + d.realignment_cost;
                     blocked_until = blocked_until.max(done);
+                    if d.realignment_cost > SimTime::ZERO {
+                        stall_hist(&mut metrics)
+                            .observe(d.realignment_cost.as_nanos() as f64);
+                    }
+                    if rec.enabled() {
+                        rec.record(
+                            Event::new(now, "realign")
+                                .with("mode", mode_name(d.mode))
+                                .with("cost_ns", d.realignment_cost),
+                        );
+                        if d.realignment_cost > SimTime::ZERO {
+                            let id = rec.start_span(now, "realign_stall");
+                            rec.end_span(done, "realign_stall", id);
+                        }
+                    }
                 }
                 if last_mode != Some(d.mode) {
                     if last_mode.is_some() {
                         mode_switches += 1;
+                        metrics.inc("mode_switches");
+                    }
+                    if rec.enabled() {
+                        let mut e = Event::new(now, "mode_switch")
+                            .with("to", mode_name(d.mode));
+                        if let Some(prev) = last_mode {
+                            e = e.with("from", mode_name(prev));
+                        }
+                        if let LinkMode::Reflector(i) = d.mode {
+                            e = e.with("reflector", i as u64);
+                        }
+                        rec.record(e);
                     }
                     last_mode = Some(d.mode);
                 }
                 if matches!(d.mode, LinkMode::Reflector(_)) {
                     reflector_frames += 1;
+                    metrics.inc("reflector_frames");
                 }
+                frame_mode = Some(d.mode);
                 d.snr_db
             }
         };
@@ -205,7 +303,10 @@ pub fn run_session_on(
             snr_sum += snr_db;
             snr_min = snr_min.min(snr_db);
         }
+        snr_hist(&mut metrics).observe(snr_db);
 
+        let rate_before = adapter.current_index();
+        let mut frame_mcs: Option<&'static McsEntry> = None;
         let delivered = if config.strategy == Strategy::Tethered {
             true
         } else {
@@ -217,21 +318,56 @@ pub fn run_session_on(
                 RatePolicy::Oracle => snr_db,
                 _ => snr_db + report_rng.normal(0.0, config.snr_report_sigma_db),
             };
-            match adapter.select(report) {
+            match adapter.select(now, report, rec) {
                 None => false,
                 Some(mcs) => {
+                    frame_mcs = Some(mcs);
                     let per = per_model.per(mcs, snr_db).min(0.99);
                     let base = config
                         .framing
                         .burst_airtime(mcs, config.traffic.frame_bits as u64);
                     let airtime =
                         SimTime::from_secs_f64(base.as_secs_f64() / (1.0 - per));
+                    airtime_hist(&mut metrics).observe(airtime.as_nanos() as f64);
                     let stall = blocked_until.saturating_since(now);
                     config.latency.meets_deadline(airtime, stall)
                 }
             }
         };
+        match (rate_before, adapter.current_index()) {
+            (Some(b), Some(a)) if a > b => metrics.inc("rate_up"),
+            (Some(b), Some(a)) if a < b => metrics.inc("rate_down"),
+            (Some(_), None) => metrics.inc("rate_outage"),
+            _ => {}
+        }
+        metrics.inc(if delivered {
+            "frames_delivered"
+        } else {
+            "frames_missed"
+        });
+        let stall_before = glitches.current_stall_frames();
         glitches.record(delivered);
+        if rec.enabled() {
+            if delivered && stall_before > 0 {
+                rec.record(
+                    Event::new(now, "stall_recovered").with("stall_frames", stall_before),
+                );
+            }
+            let mut e = Event::new(now, "frame")
+                .with("delivered", delivered)
+                .with("snr_db", snr_db)
+                .with("stall_ns", blocked_until.saturating_since(now));
+            if let Some(mcs) = frame_mcs {
+                e = e.with("mcs", mcs.index as u64);
+            }
+            if let Some(mode) = frame_mode {
+                e = e.with("mode", mode_name(mode));
+                if let LinkMode::Reflector(i) = mode {
+                    e = e.with("reflector", i as u64);
+                }
+            }
+            rec.record(e);
+        }
 
         queue.schedule_in(config.traffic.frame_interval(), SessionEvent::Frame);
     }
@@ -252,6 +388,7 @@ pub fn run_session_on(
         } else {
             reflector_frames as f64 / frames as f64
         },
+        metrics: metrics.snapshot(),
     }
 }
 
@@ -416,6 +553,100 @@ mod tests {
         let at13 = cfg.framing.burst_airtime(mcs13, bits);
         assert!(!cfg.latency.meets_deadline(at12, movr_sim::SimTime::ZERO));
         assert!(cfg.latency.meets_deadline(at13, movr_sim::SimTime::ZERO));
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_outcome() {
+        let trace = HandRaise {
+            base: facing_ap(),
+            raise_at_s: 1.0,
+            lower_at_s: 3.0,
+            duration_s: 4.0,
+        };
+        let out = run_session(
+            &trace,
+            &SessionConfig::with_strategy(Strategy::Movr { tracking: true }),
+        );
+        let m = &out.metrics;
+        assert_eq!(
+            m.counter("frames_total"),
+            Some(out.glitches.frames_total as u64)
+        );
+        assert_eq!(
+            m.counter("frames_delivered"),
+            Some(out.glitches.frames_delivered as u64)
+        );
+        assert_eq!(
+            m.counter("frames_missed"),
+            Some((out.glitches.frames_total - out.glitches.frames_delivered) as u64)
+        );
+        assert_eq!(m.counter("mode_switches"), Some(out.mode_switches as u64));
+        assert_eq!(m.counter("realignments"), Some(out.realignments as u64));
+        let snr = m.histogram("frame_snr_db").expect("snr histogram");
+        assert_eq!(snr.count(), out.glitches.frames_total as u64);
+        assert!((snr.summary().mean() - out.mean_snr_db).abs() < 1e-9);
+        assert_eq!(snr.summary().min(), out.min_snr_db);
+    }
+
+    #[test]
+    fn recorded_session_timeline_is_consistent() {
+        use movr_obs::{MemoryRecorder, Value};
+        let trace = HandRaise {
+            base: facing_ap(),
+            raise_at_s: 1.0,
+            lower_at_s: 3.0,
+            duration_s: 4.0,
+        };
+        let cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+        let mut rec = MemoryRecorder::new();
+        let out = run_session_recorded(&trace, &cfg, &mut rec);
+
+        // One frame event per frame, flagged exactly like the report.
+        assert_eq!(rec.of_kind("frame").count(), out.glitches.frames_total);
+        let delivered = rec
+            .of_kind("frame")
+            .filter(|e| e.field("delivered") == Some(&Value::Bool(true)))
+            .count();
+        assert_eq!(delivered, out.glitches.frames_delivered);
+        // Transitions match the counters.
+        assert_eq!(rec.of_kind("mode_switch").count(), out.mode_switches + 1);
+        assert_eq!(rec.of_kind("realign").count(), out.realignments);
+        // Every glitch run that ended within the session announced its
+        // recovery (a final unrecovered stall would not).
+        assert!(rec.of_kind("stall_recovered").count() <= out.glitches.glitch_events);
+        assert!(out.glitches.glitch_events > 0, "scenario must glitch");
+        // Frame timestamps are monotonically increasing. (The full stream
+        // is not sorted: a realign_stall span's end event is stamped at
+        // the future unblock instant the moment the stall is known.)
+        let ts: Vec<_> = rec.of_kind("frame").map(|e| e.t).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn null_recorder_outcome_matches_plain_run() {
+        use movr_obs::{MemoryRecorder, NullRecorder};
+        let trace = HandRaise {
+            base: facing_ap(),
+            raise_at_s: 1.0,
+            lower_at_s: 3.0,
+            duration_s: 4.0,
+        };
+        let mut cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+        cfg.rate_policy = RatePolicy::Threshold { backoff_db: 1.0 };
+        let plain = run_session(&trace, &cfg);
+        let nulled = run_session_recorded(&trace, &cfg, &mut NullRecorder);
+        let mut mem = MemoryRecorder::new();
+        let memed = run_session_recorded(&trace, &cfg, &mut mem);
+        // Observation must never perturb the simulation: all three runs
+        // are bit-identical, down to the metrics serialization.
+        assert_eq!(plain.glitches, nulled.glitches);
+        assert_eq!(plain.glitches, memed.glitches);
+        assert_eq!(plain.mean_snr_db, nulled.mean_snr_db);
+        assert_eq!(plain.mean_snr_db, memed.mean_snr_db);
+        assert_eq!(plain.min_snr_db, memed.min_snr_db);
+        assert_eq!(plain.metrics.to_json(), nulled.metrics.to_json());
+        assert_eq!(plain.metrics.to_json(), memed.metrics.to_json());
+        assert!(!mem.is_empty());
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //!    without it, a blockage triggers a windowed beam re-sweep whose
 //!    latency stalls frames.
 
-use crate::gain_control::{run_gain_control, GainControlConfig};
+use crate::gain_control::{run_gain_control, run_gain_control_recorded, GainControlConfig};
 use crate::reflector::MovrReflector;
 use crate::relay::{relay_link, RelayBudget};
 use movr_math::{wrap_deg_180, Vec2};
 use movr_motion::{LighthouseTracker, WorldState};
+use movr_obs::{NullRecorder, Recorder};
 use movr_radio::{evaluate_link, RadioEndpoint, RateTable};
 use movr_rfsim::Scene;
 use movr_sim::SimTime;
@@ -272,6 +273,22 @@ impl MovrSystem {
     /// Evaluates the link at time `t_s` for the given world and commits
     /// the decision (beams, mode) as persistent state.
     pub fn evaluate_at(&mut self, t_s: f64, world: &WorldState) -> LinkDecision {
+        self.evaluate_at_recorded(t_s, world, &mut NullRecorder)
+    }
+
+    /// [`MovrSystem::evaluate_at`] with observability: every §4.2 gain
+    /// ramp the evaluation triggers (one per reflector candidate, plus
+    /// the re-run after a degraded-beam re-sweep) is recorded as a
+    /// `gain_ramp` span with its `gain_step`/`gain_backoff`/`gain_ceiling`
+    /// events, stamped at the evaluation instant. The decision is
+    /// bit-identical to the plain call.
+    pub fn evaluate_at_recorded(
+        &mut self,
+        t_s: f64,
+        world: &WorldState,
+        rec: &mut dyn Recorder,
+    ) -> LinkDecision {
+        let now = SimTime::from_secs_f64(t_s);
         self.sync_scene(world);
         let mut hs = self.headset_for(world);
         let tracked = self.tracker.track(t_s, &world.player);
@@ -348,7 +365,12 @@ impl MovrSystem {
             };
 
             self.reflectors[i].steer_tx(tx_deg);
-            run_gain_control(&mut self.reflectors[i], &self.config.gain_control);
+            run_gain_control_recorded(
+                &mut self.reflectors[i],
+                &self.config.gain_control,
+                now,
+                rec,
+            );
             let mut budget = relay_link(&self.scene, &ap_r, &self.reflectors[i], &hs);
 
             if !self.config.use_tracking
@@ -357,7 +379,12 @@ impl MovrSystem {
                 // Degraded on the stale beam: pay for a re-sweep, which
                 // finds the current best transmit angle.
                 self.reflectors[i].steer_tx(ideal_tx);
-                run_gain_control(&mut self.reflectors[i], &self.config.gain_control);
+                run_gain_control_recorded(
+                    &mut self.reflectors[i],
+                    &self.config.gain_control,
+                    now,
+                    rec,
+                );
                 budget = relay_link(&self.scene, &ap_r, &self.reflectors[i], &hs);
                 realigned = true;
                 cost = self.sweep_realignment_cost();

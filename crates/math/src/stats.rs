@@ -45,6 +45,28 @@ impl Summary {
         self.max = self.max.max(v);
     }
 
+    /// Merges another summary into this one (Chan et al.'s parallel
+    /// combine of Welford state): the result is exactly the summary of
+    /// the concatenated sample sets.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> usize {
         self.count
@@ -226,6 +248,28 @@ mod tests {
         let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
         assert!((s.mean() - mean).abs() < 1e-9);
         assert!((s.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_matches_concatenation() {
+        let a_vals: Vec<f64> = (0..40).map(|i| (i as f64 * 0.91).cos() * 3.0).collect();
+        let b_vals: Vec<f64> = (0..25).map(|i| (i as f64 * 0.37).sin() * 10.0 + 1.0).collect();
+        let mut merged = Summary::from_slice(&a_vals);
+        merged.merge(&Summary::from_slice(&b_vals));
+        let all: Vec<f64> = a_vals.iter().chain(&b_vals).copied().collect();
+        let direct = Summary::from_slice(&all);
+        assert_eq!(merged.count(), direct.count());
+        assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+        assert!((merged.variance() - direct.variance()).abs() < 1e-9);
+        assert_eq!(merged.min(), direct.min());
+        assert_eq!(merged.max(), direct.max());
+        // Merging an empty summary either way is the identity.
+        let mut e = Summary::new();
+        e.merge(&direct);
+        assert_eq!(e.count(), direct.count());
+        let mut d2 = direct;
+        d2.merge(&Summary::new());
+        assert_eq!(d2.count(), direct.count());
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Events answer "what happened when"; metrics answer "how much, how
+//! often, how spread". The registry is deliberately simple — string-keyed
+//! maps with deterministic (sorted) iteration order — so a snapshot
+//! serialises identically across same-seed runs and can be diffed by
+//! future perf PRs.
+//!
+//! [`Histogram`] is fixed-bucket: the bucket edges are chosen up front
+//! (linear spacing for quantities already in a log domain like dB,
+//! geometric spacing for raw magnitudes like nanoseconds), plus explicit
+//! underflow and overflow buckets so no observation is ever dropped. A
+//! [`movr_math::Summary`] rides along for exact mean/min/max.
+
+use movr_math::Summary;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram with underflow/overflow buckets and an exact
+/// running summary.
+///
+/// For `n` interior buckets there are `n + 1` edges `e₀ < e₁ < … < eₙ`
+/// and `n + 2` counts: `counts[0]` holds `v < e₀` (underflow),
+/// `counts[k]` holds `eₖ₋₁ ≤ v < eₖ`, and `counts[n + 1]` holds
+/// `v ≥ eₙ` (overflow). NaN observations are ignored (they order
+/// nowhere); ±∞ land in overflow/underflow.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    summary: Summary,
+}
+
+impl Histogram {
+    fn from_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least one interior bucket");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "bucket edges must be strictly increasing"
+        );
+        let counts = vec![0; edges.len() + 1];
+        Histogram {
+            edges,
+            counts,
+            total: 0,
+            summary: Summary::new(),
+        }
+    }
+
+    /// `n_buckets` equal-width buckets spanning `[lo, hi)` — the right
+    /// spacing for values already in a log domain (dB).
+    pub fn linear(lo: f64, hi: f64, n_buckets: usize) -> Self {
+        assert!(n_buckets >= 1, "need at least one bucket");
+        assert!(lo < hi, "lo must be below hi");
+        let w = (hi - lo) / n_buckets as f64;
+        Histogram::from_edges((0..=n_buckets).map(|i| lo + w * i as f64).collect())
+    }
+
+    /// `n_buckets` geometrically spaced buckets spanning `[lo, hi)` with
+    /// `lo > 0` — the right spacing for raw magnitudes covering decades
+    /// (durations in nanoseconds).
+    pub fn log_spaced(lo: f64, hi: f64, n_buckets: usize) -> Self {
+        assert!(n_buckets >= 1, "need at least one bucket");
+        assert!(lo > 0.0 && lo < hi, "log spacing needs 0 < lo < hi");
+        let ratio = (hi / lo).powf(1.0 / n_buckets as f64);
+        Histogram::from_edges((0..=n_buckets).map(|i| lo * ratio.powi(i as i32)).collect())
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        let idx = self.edges.partition_point(|&e| e <= v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        if v.is_finite() {
+            self.summary.push(v);
+        }
+    }
+
+    /// Total observations recorded (equals the sum of all bucket counts,
+    /// underflow and overflow included).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The bucket edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// All bucket counts: `[underflow, interior…, overflow]`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the lowest edge.
+    pub fn underflow(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Observations at or above the highest edge.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().expect("counts never empty")
+    }
+
+    /// Exact summary (mean/min/max/stddev) of the finite observations.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ — merging histograms with
+    /// different edges would silently misbin.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "cannot merge histograms with different bucket edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.summary.merge(&other.summary);
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        let _ = write!(out, "{}", self.total);
+        out.push_str(",\"mean\":");
+        write_json_f64(out, if self.summary.count() == 0 { f64::NAN } else { self.summary.mean() });
+        out.push_str(",\"min\":");
+        write_json_f64(out, self.summary.min());
+        out.push_str(",\"max\":");
+        write_json_f64(out, self.summary.max());
+        out.push_str(",\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_f64(out, *e);
+        }
+        out.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("]}");
+    }
+}
+
+fn write_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// String-keyed counters, gauges, and histograms with deterministic
+/// iteration order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Sets gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// The histogram `name`, created with `mk` on first use.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        mk: impl FnOnce() -> Histogram,
+    ) -> &mut Histogram {
+        self.histograms.entry(name).or_insert_with(mk)
+    }
+
+    /// An immutable, cloneable snapshot of everything, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], sorted by name —
+/// attachable to results (e.g. `SessionOutcome::metrics`) and
+/// serialisable deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, ascending by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, ascending by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// One deterministic JSON object holding the whole snapshot.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":");
+            write_json_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":");
+            h.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// A human-readable metrics table (fixed-width, one metric per line).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  {k:<28} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  {k:<28} {v:>12.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for (k, h) in &self.histograms {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "  {k:<28} n={:<8} mean={:<12.3} min={:<12.3} max={:<12.3} under={} over={}",
+                    h.count(),
+                    s.mean(),
+                    if s.count() == 0 { f64::NAN } else { s.min() },
+                    if s.count() == 0 { f64::NAN } else { s.max() },
+                    h.underflow(),
+                    h.overflow(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bucket_boundaries() {
+        let mut h = Histogram::linear(0.0, 10.0, 5);
+        assert_eq!(h.edges(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        // Left-closed, right-open interior buckets.
+        h.observe(0.0); // [0,2)
+        h.observe(1.999); // [0,2)
+        h.observe(2.0); // [2,4)
+        h.observe(9.999); // [8,10)
+        h.observe(10.0); // overflow (v >= last edge)
+        h.observe(-0.001); // underflow
+        assert_eq!(h.bucket_counts(), &[1, 2, 1, 0, 0, 1, 1]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn log_spaced_bucket_boundaries() {
+        let h = Histogram::log_spaced(1.0, 1000.0, 3);
+        let e = h.edges();
+        assert_eq!(e.len(), 4);
+        assert!((e[0] - 1.0).abs() < 1e-9);
+        assert!((e[1] - 10.0).abs() < 1e-9);
+        assert!((e[2] - 100.0).abs() < 1e-9);
+        assert!((e[3] - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underflow_overflow_and_nonfinite() {
+        let mut h = Histogram::linear(0.0, 1.0, 2);
+        h.observe(-5.0);
+        h.observe(f64::NEG_INFINITY);
+        h.observe(7.0);
+        h.observe(f64::INFINITY);
+        h.observe(f64::NAN); // ignored entirely
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 4);
+        // Summary only saw the finite observations.
+        assert_eq!(h.summary().count(), 2);
+        assert_eq!(h.summary().min(), -5.0);
+        assert_eq!(h.summary().max(), 7.0);
+    }
+
+    #[test]
+    fn count_equals_bucket_sum() {
+        let mut h = Histogram::log_spaced(1.0, 1e6, 12);
+        for i in 0..500 {
+            h.observe((i as f64 * 37.7).abs() % 2e6);
+        }
+        assert_eq!(h.count(), h.bucket_counts().iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_adds_counts_and_summary() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        let mut b = Histogram::linear(0.0, 10.0, 5);
+        for v in [1.0, 3.0, 11.0] {
+            a.observe(v);
+        }
+        for v in [-2.0, 5.0, 5.5, 9.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.count(), a.bucket_counts().iter().sum::<u64>());
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.summary().count(), 7);
+        assert_eq!(a.summary().min(), -2.0);
+        assert_eq!(a.summary().max(), 11.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket edges")]
+    fn merge_rejects_mismatched_layout() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        a.merge(&Histogram::linear(0.0, 10.0, 4));
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.inc("frames_total");
+        m.inc("frames_total");
+        m.add("frames_total", 3);
+        m.set_gauge("duration_s", 2.0);
+        m.set_gauge("duration_s", 4.0); // last write wins
+        m.histogram("snr_db", || Histogram::linear(-10.0, 50.0, 60)).observe(21.5);
+        m.histogram("snr_db", || Histogram::linear(0.0, 1.0, 1)).observe(30.0);
+
+        let s = m.snapshot();
+        assert_eq!(s.counter("frames_total"), Some(5));
+        assert_eq!(s.gauge("duration_s"), Some(4.0));
+        let h = s.histogram("snr_db").unwrap();
+        assert_eq!(h.count(), 2);
+        // First-use config won: 60 interior buckets, not 1.
+        assert_eq!(h.edges().len(), 61);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        m.set_gauge("g", 1.5);
+        m.histogram("h", || Histogram::linear(0.0, 1.0, 2)).observe(0.4);
+        let a = m.snapshot().to_json();
+        let b = m.snapshot().to_json();
+        assert_eq!(a, b);
+        let alpha = a.find("\"alpha\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "counters must serialise sorted: {a}");
+        assert!(a.contains("\"counts\":[0,1,0,0]"));
+    }
+
+    #[test]
+    fn render_table_mentions_every_metric() {
+        let mut m = MetricsRegistry::new();
+        m.inc("frames_total");
+        m.set_gauge("mean_snr_db", 21.0);
+        m.histogram("airtime_ns", || Histogram::log_spaced(1e3, 1e9, 10)).observe(2e6);
+        let t = m.snapshot().render_table();
+        assert!(t.contains("frames_total"));
+        assert!(t.contains("mean_snr_db"));
+        assert!(t.contains("airtime_ns"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Event sinks: where the instrumented stack sends its timeline.
+//!
+//! [`Recorder`] is the trait the hot paths hold (`&mut dyn Recorder`);
+//! three sinks cover the use cases:
+//!
+//! * [`NullRecorder`] — observability off. `enabled()` is `false`, so
+//!   instrumented code skips building events entirely; the cost is one
+//!   virtual call per would-be event.
+//! * [`MemoryRecorder`] — in-memory capture for tests and analysis.
+//! * [`JsonlWriter`] — streams one JSON object per line to any
+//!   `io::Write` (a file, a `Vec<u8>`, stdout).
+//!
+//! Durations are first-class via *spans*: [`Recorder::start_span`] mints
+//! a [`SpanId`] and emits a `span_start` event, [`Recorder::end_span`]
+//! closes it with a `span_end` event at the end time. Because both carry
+//! sim-time stamps, span durations are exact simulation quantities, not
+//! wall-clock measurements.
+
+use crate::event::Event;
+use movr_sim::SimTime;
+use std::io;
+
+/// Identifier pairing a `span_start` with its `span_end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// A sink for structured events.
+pub trait Recorder {
+    /// Whether events will be kept. Hot paths guard event construction
+    /// with this so a disabled recorder costs no allocations.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, event: Event);
+
+    /// Opens a sim-time span named `name` at `t`, emitting a
+    /// `span_start` event carrying the span id.
+    fn start_span(&mut self, t: SimTime, name: &'static str) -> SpanId;
+
+    /// Closes span `id` at `t` with a `span_end` event.
+    fn end_span(&mut self, t: SimTime, name: &'static str, id: SpanId);
+}
+
+fn span_event(kind: &'static str, t: SimTime, name: &'static str, id: SpanId) -> Event {
+    Event::new(t, kind).with("span", name).with("span_id", id.0)
+}
+
+/// Observability off: drops everything, reports `enabled() == false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, _event: Event) {}
+    fn start_span(&mut self, _t: SimTime, _name: &'static str) -> SpanId {
+        SpanId(0)
+    }
+    fn end_span(&mut self, _t: SimTime, _name: &'static str, _id: SpanId) {}
+}
+
+/// Captures events in memory, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    events: Vec<Event>,
+    next_span: u64,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Closed spans as `(name, start, end)`, in start order. Unclosed
+    /// spans are omitted.
+    pub fn spans(&self) -> Vec<(&'static str, SimTime, SimTime)> {
+        use crate::event::Value;
+        let id_of = |e: &Event| match e.field("span_id") {
+            Some(&Value::U64(id)) => Some(id),
+            _ => None,
+        };
+        let name_of = |e: &Event| match e.field("span") {
+            Some(&Value::Str(s)) => Some(s),
+            _ => None,
+        };
+        let mut out = Vec::new();
+        for start in self.of_kind("span_start") {
+            let (Some(id), Some(name)) = (id_of(start), name_of(start)) else {
+                continue;
+            };
+            let end = self
+                .of_kind("span_end")
+                .find(|e| id_of(e) == Some(id));
+            if let Some(end) = end {
+                out.push((name, start.t, end.t));
+            }
+        }
+        out
+    }
+
+    /// The whole capture rendered as JSONL (one event per line, trailing
+    /// newline included) — byte-identical to what a [`JsonlWriter`] fed
+    /// the same events would have written.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+    fn start_span(&mut self, t: SimTime, name: &'static str) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.events.push(span_event("span_start", t, name, id));
+        id
+    }
+    fn end_span(&mut self, t: SimTime, name: &'static str, id: SpanId) {
+        self.events.push(span_event("span_end", t, name, id));
+    }
+}
+
+/// Streams events as JSON lines to an `io::Write` sink.
+///
+/// # Panics
+/// Panics if the underlying writer fails: a broken timeline sink mid-run
+/// would silently truncate the record, which is worse than stopping.
+#[derive(Debug)]
+pub struct JsonlWriter<W: io::Write> {
+    sink: W,
+    next_span: u64,
+    lines: u64,
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    /// Wraps a writer.
+    pub fn new(sink: W) -> Self {
+        JsonlWriter {
+            sink,
+            next_span: 0,
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        self.sink.flush().expect("JSONL sink flush failed");
+        self.sink
+    }
+
+    fn write_line(&mut self, event: &Event) {
+        let mut line = event.json_line();
+        line.push('\n');
+        self.sink
+            .write_all(line.as_bytes())
+            .expect("JSONL sink write failed");
+        self.lines += 1;
+    }
+}
+
+impl<W: io::Write> Recorder for JsonlWriter<W> {
+    fn record(&mut self, event: Event) {
+        self.write_line(&event);
+    }
+    fn start_span(&mut self, t: SimTime, name: &'static str) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.write_line(&span_event("span_start", t, name, id));
+        id
+    }
+    fn end_span(&mut self, t: SimTime, name: &'static str, id: SpanId) {
+        self.write_line(&span_event("span_end", t, name, id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(rec: &mut dyn Recorder) {
+        let id = rec.start_span(SimTime::from_millis(1), "sweep");
+        rec.record(Event::new(SimTime::from_millis(2), "probe").with("power_dbm", -42.5));
+        rec.end_span(SimTime::from_millis(3), "sweep", id);
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_silent() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        feed(&mut r);
+        assert_eq!(r.start_span(SimTime::ZERO, "x"), SpanId(0));
+    }
+
+    #[test]
+    fn memory_recorder_captures_in_order() {
+        let mut r = MemoryRecorder::new();
+        assert!(r.enabled());
+        feed(&mut r);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.events()[0].kind, "span_start");
+        assert_eq!(r.events()[1].kind, "probe");
+        assert_eq!(r.events()[2].kind, "span_end");
+        assert_eq!(r.of_kind("probe").count(), 1);
+    }
+
+    #[test]
+    fn spans_pair_start_and_end() {
+        let mut r = MemoryRecorder::new();
+        feed(&mut r);
+        let spans = r.spans();
+        assert_eq!(
+            spans,
+            vec![("sweep", SimTime::from_millis(1), SimTime::from_millis(3))]
+        );
+        // An unclosed span is omitted.
+        r.start_span(SimTime::from_millis(4), "dangling");
+        assert_eq!(r.spans().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_writer_matches_memory_rendering() {
+        let mut mem = MemoryRecorder::new();
+        feed(&mut mem);
+        let mut w = JsonlWriter::new(Vec::new());
+        feed(&mut w);
+        assert_eq!(w.lines(), 3);
+        let bytes = w.into_inner();
+        assert_eq!(String::from_utf8(bytes).unwrap(), mem.to_jsonl());
+    }
+
+    #[test]
+    fn span_ids_are_unique_per_recorder() {
+        let mut r = MemoryRecorder::new();
+        let a = r.start_span(SimTime::ZERO, "a");
+        let b = r.start_span(SimTime::ZERO, "b");
+        assert_ne!(a, b);
+    }
+}

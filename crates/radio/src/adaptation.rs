@@ -13,6 +13,8 @@
 //! * [`Oracle`] — picks from the true SNR (upper bound for comparisons).
 
 use crate::mcs::{McsEntry, RateTable};
+use movr_obs::{Event, Recorder};
+use movr_sim::SimTime;
 
 /// A rate-adaptation policy consuming periodic SNR reports.
 pub trait RateAdapter {
@@ -22,6 +24,43 @@ pub trait RateAdapter {
 
     /// The currently selected MCS.
     fn current(&self) -> Option<&'static McsEntry>;
+
+    /// [`RateAdapter::on_snr_report`] with observability: emits one event
+    /// per *decision change* — `rate_up`, `rate_down`, `rate_outage`,
+    /// `rate_restore` — carrying the report SNR and the MCS transition.
+    /// Steady-state reports (no MCS change) stay silent so a 90 Hz report
+    /// stream doesn't flood the timeline. The policy's behaviour is
+    /// unchanged: this default method only watches `current()`.
+    fn on_snr_report_recorded(
+        &mut self,
+        now: SimTime,
+        snr_db: f64,
+        rec: &mut dyn Recorder,
+    ) -> Option<&'static McsEntry> {
+        let before = self.current().map(|m| m.index);
+        let chosen = self.on_snr_report(snr_db);
+        if rec.enabled() {
+            let after = chosen.map(|m| m.index);
+            let event = |kind: &'static str| {
+                let mut e = Event::new(now, kind).with("snr_report_db", snr_db);
+                if let Some(i) = before {
+                    e = e.with("from_mcs", i as u64);
+                }
+                if let Some(i) = after {
+                    e = e.with("to_mcs", i as u64);
+                }
+                e
+            };
+            match (before, after) {
+                (Some(b), Some(a)) if a > b => rec.record(event("rate_up")),
+                (Some(b), Some(a)) if a < b => rec.record(event("rate_down")),
+                (Some(_), None) => rec.record(event("rate_outage")),
+                (None, Some(_)) => rec.record(event("rate_restore")),
+                _ => {}
+            }
+        }
+        chosen
+    }
 }
 
 /// Threshold selection with a fixed safety backoff.
@@ -224,6 +263,51 @@ mod tests {
         let mut o = Oracle::default();
         assert_eq!(o.on_snr_report(20.0).unwrap().rate_mbps, 6756.75);
         assert_eq!(o.on_snr_report(19.99).unwrap().index, 14);
+    }
+
+    #[test]
+    fn recorded_reports_emit_only_decision_changes() {
+        use movr_obs::{MemoryRecorder, Value};
+        use movr_sim::SimTime;
+        let mut a = SnrThreshold::new(0.0);
+        let mut rec = MemoryRecorder::new();
+        let t = |ms| SimTime::from_millis(ms);
+        // First report: None -> Some is a restore (link comes up).
+        a.on_snr_report_recorded(t(0), 25.0, &mut rec);
+        // Steady state: same MCS, no event.
+        a.on_snr_report_recorded(t(11), 25.0, &mut rec);
+        // Degrade, recover, lose the link, restore.
+        a.on_snr_report_recorded(t(22), 12.5, &mut rec);
+        a.on_snr_report_recorded(t(33), 25.0, &mut rec);
+        a.on_snr_report_recorded(t(44), -5.0, &mut rec);
+        a.on_snr_report_recorded(t(55), 18.0, &mut rec);
+        let kinds: Vec<&str> = rec.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            ["rate_restore", "rate_down", "rate_up", "rate_outage", "rate_restore"]
+        );
+        let down = rec.of_kind("rate_down").next().unwrap();
+        assert_eq!(down.field("from_mcs"), Some(&Value::U64(15)));
+        assert_eq!(down.field("to_mcs"), Some(&Value::U64(10)));
+        assert_eq!(down.field("snr_report_db"), Some(&Value::F64(12.5)));
+        let outage = rec.of_kind("rate_outage").next().unwrap();
+        assert!(outage.field("to_mcs").is_none(), "outage has no target MCS");
+    }
+
+    #[test]
+    fn recorded_variant_is_behaviour_identical() {
+        use movr_obs::NullRecorder;
+        use movr_sim::SimTime;
+        let reports = [10.0, 25.0, 25.0, 25.0, -3.0, 14.8, 15.2, 19.0];
+        let mut plain = Hysteresis::new(1.0, 3, 1.0);
+        let mut recorded = Hysteresis::new(1.0, 3, 1.0);
+        for (i, &s) in reports.iter().enumerate() {
+            let a = plain.on_snr_report(s).map(|m| m.index);
+            let b = recorded
+                .on_snr_report_recorded(SimTime::from_millis(i as u64 * 11), s, &mut NullRecorder)
+                .map(|m| m.index);
+            assert_eq!(a, b, "report {i}");
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@ impl SimTime {
     /// The simulation epoch.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The latest representable instant (~584 simulated years).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a time from nanoseconds.
     pub const fn from_nanos(ns: u64) -> Self {
         SimTime(ns)
@@ -32,9 +35,23 @@ impl SimTime {
     }
 
     /// Creates a time from seconds (fractional allowed).
+    ///
+    /// Inputs too large for the `u64` nanosecond range (above ~5.8e11
+    /// seconds) saturate to [`SimTime::MAX`] rather than relying on the
+    /// cast's implicit clamping — callers feeding in huge durations get a
+    /// well-defined, documented ceiling instead of silent wrap-adjacent
+    /// behaviour.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN, or infinite input.
     pub fn from_secs_f64(secs: f64) -> Self {
         assert!(secs >= 0.0 && secs.is_finite(), "time must be non-negative");
-        SimTime((secs * 1e9).round() as u64)
+        let ns = (secs * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
     }
 
     /// Nanoseconds since the epoch.
@@ -188,6 +205,22 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_seconds_rejected() {
         SimTime::from_secs_f64(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn infinite_seconds_rejected() {
+        SimTime::from_secs_f64(f64::INFINITY);
+    }
+
+    #[test]
+    fn huge_seconds_saturate_to_max() {
+        assert_eq!(SimTime::from_secs_f64(1e300), SimTime::MAX);
+        // Exactly at the boundary region: u64::MAX ns ≈ 1.8447e19 ns.
+        assert_eq!(SimTime::from_secs_f64(2e10), SimTime::MAX);
+        // Comfortably below the ceiling, conversion is exact as before.
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!(SimTime::from_secs_f64(1e9) < SimTime::MAX);
     }
 
     #[test]

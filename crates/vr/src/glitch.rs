@@ -64,6 +64,14 @@ impl GlitchTracker {
         self.total
     }
 
+    /// Length of the stall in progress, frames — 0 whenever the most
+    /// recent frame was delivered. Lets instrumentation observe a stall
+    /// *while it runs* (and its final length at the recovery frame)
+    /// instead of only the per-session maximum.
+    pub fn current_stall_frames(&self) -> usize {
+        self.current_stall
+    }
+
     /// The report so far.
     pub fn report(&self) -> GlitchReport {
         GlitchReport {
@@ -140,8 +148,26 @@ mod tests {
 
     #[test]
     fn empty_session_is_clean() {
+        // `loss_rate` must be well-defined (0.0, not 0/0 = NaN) before
+        // any frame arrives — a report can be taken at any instant.
         let r = GlitchTracker::new().report();
         assert_eq!(r.frames_total, 0);
         assert_eq!(r.loss_rate, 0.0);
+        assert!(!r.loss_rate.is_nan());
+    }
+
+    #[test]
+    fn current_stall_tracks_the_run_in_progress() {
+        let mut t = GlitchTracker::new();
+        assert_eq!(t.current_stall_frames(), 0);
+        t.record(true);
+        assert_eq!(t.current_stall_frames(), 0);
+        t.record(false);
+        t.record(false);
+        assert_eq!(t.current_stall_frames(), 2, "mid-stall length is visible");
+        t.record(true);
+        assert_eq!(t.current_stall_frames(), 0, "delivery clears the stall");
+        // The historical maximum survives the reset.
+        assert_eq!(t.report().longest_stall_frames, 2);
     }
 }

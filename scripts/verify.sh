@@ -8,14 +8,17 @@ cd "$(dirname "$0")/.."
 echo "==> tier-1: release build"
 cargo build --release --offline
 
+echo "==> examples build"
+cargo build --release --offline --examples
+
 echo "==> tier-1: root package tests"
 cargo test -q --offline
 
 echo "==> workspace tests (all crates)"
 cargo test --workspace -q --offline
 
-echo "==> testkit is warning-clean under -Dwarnings"
-RUSTFLAGS="-Dwarnings" cargo check -p movr-testkit --all-targets --offline
+echo "==> workspace is warning-clean under -Dwarnings"
+RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
 
 echo "==> bench smoke (--quick profile, JSON lines)"
 out="$(cargo bench -p movr-bench --offline -- --quick 2>/dev/null | grep '"median_ns"')"

@@ -7,10 +7,13 @@
 //! actually exercise different randomness. A regression here means some
 //! subsystem started drawing from ambient, unseeded state.
 
-use movr::session::{run_session, RatePolicy, SessionConfig, Strategy};
+use movr::session::{
+    run_session, run_session_recorded, RatePolicy, SessionConfig, Strategy,
+};
 use movr::system::{MovrSystem, SystemConfig};
-use movr_motion::{HandRaise, PlayerState, WorldState};
 use movr_math::Vec2;
+use movr_motion::{HandRaise, PlayerState, WorldState};
+use movr_obs::{JsonlWriter, MemoryRecorder, NullRecorder};
 
 fn moving_world(t_s: f64) -> WorldState {
     // A player orbiting the room centre: the pose changes every frame, so
@@ -94,4 +97,67 @@ fn full_session_outcome_is_reproducible() {
     assert_eq!(a.min_snr_db, b.min_snr_db);
     assert_eq!(a.mode_switches, b.mode_switches);
     assert_eq!(a.realignments, b.realignments);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+}
+
+/// The canonical recorded scenario for the timeline tests below.
+fn recorded_scenario() -> (HandRaise, SessionConfig) {
+    let trace = HandRaise {
+        base: PlayerState::standing(
+            Vec2::new(4.0, 2.5),
+            Vec2::new(4.0, 2.5).bearing_deg_to(Vec2::new(0.5, 2.5)),
+        ),
+        raise_at_s: 0.5,
+        lower_at_s: 1.5,
+        duration_s: 2.0,
+    };
+    let mut cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+    cfg.rate_policy = RatePolicy::Threshold { backoff_db: 1.0 };
+    cfg.system.seed = 7;
+    (trace, cfg)
+}
+
+#[test]
+fn same_seed_produces_byte_identical_jsonl_stream() {
+    // The observability tentpole's determinism guarantee: two runs of the
+    // same seeded session serialize the *same bytes*, so timelines can be
+    // diffed across machines and commits.
+    let (trace, cfg) = recorded_scenario();
+    let stream = || {
+        let mut rec = JsonlWriter::new(Vec::new());
+        run_session_recorded(&trace, &cfg, &mut rec);
+        rec.into_inner()
+    };
+    let a = stream();
+    let b = stream();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "JSONL timeline must be byte-identical per seed");
+
+    // And the in-memory recorder serializes to the identical stream.
+    let mut mem = MemoryRecorder::new();
+    run_session_recorded(&trace, &cfg, &mut mem);
+    assert_eq!(a, mem.to_jsonl().into_bytes());
+}
+
+#[test]
+fn recording_does_not_perturb_the_session() {
+    // A NullRecorder session must be bit-identical to the uninstrumented
+    // run, and attaching a real recorder must not change the outcome
+    // either: observation never draws from the simulation's RNG streams.
+    let (trace, cfg) = recorded_scenario();
+    let plain = run_session(&trace, &cfg);
+    let nulled = run_session_recorded(&trace, &cfg, &mut NullRecorder);
+    let mut mem = MemoryRecorder::new();
+    let memed = run_session_recorded(&trace, &cfg, &mut mem);
+
+    for other in [&nulled, &memed] {
+        assert_eq!(plain.glitches, other.glitches);
+        assert_eq!(plain.mean_snr_db, other.mean_snr_db);
+        assert_eq!(plain.min_snr_db, other.min_snr_db);
+        assert_eq!(plain.mode_switches, other.mode_switches);
+        assert_eq!(plain.realignments, other.realignments);
+        assert_eq!(plain.reflector_fraction, other.reflector_fraction);
+        assert_eq!(plain.metrics.to_json(), other.metrics.to_json());
+    }
+    assert!(!mem.is_empty(), "the memory recorder did observe the run");
 }

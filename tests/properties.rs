@@ -311,6 +311,43 @@ property! {
     }
 }
 
+// ---------------- observability ----------------
+
+property! {
+    fn histogram_count_equals_bucket_sum(
+        values in vec_of(f64_range(-1e4, 1e4), 0, 63),
+        lo in f64_range(-100.0, 99.0),
+        width in f64_range(0.1, 200.0),
+        n_buckets in usize_range(1, 40),
+    ) {
+        use movr_obs::Histogram;
+        let mut h = Histogram::linear(lo, lo + width, n_buckets);
+        for &v in &values {
+            h.observe(v);
+        }
+        // The structural invariant: every observation lands in exactly
+        // one bucket (underflow and overflow included), so the total
+        // count equals the sum over all buckets — regardless of range,
+        // resolution, or where the samples fall.
+        let bucket_sum: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(h.count(), bucket_sum);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.summary().count(), values.len());
+
+        // Merging two disjoint halves equals observing the whole stream.
+        let (first, second) = values.split_at(values.len() / 2);
+        let mut a = Histogram::linear(lo, lo + width, n_buckets);
+        let mut b = Histogram::linear(lo, lo + width, n_buckets);
+        first.iter().for_each(|&v| a.observe(v));
+        second.iter().for_each(|&v| b.observe(v));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), h.count());
+        prop_assert_eq!(a.bucket_counts(), h.bucket_counts());
+        prop_assert_eq!(a.underflow(), h.underflow());
+        prop_assert_eq!(a.overflow(), h.overflow());
+    }
+}
+
 // ---------------- event queue ----------------
 
 property! {
