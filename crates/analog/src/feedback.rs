@@ -12,7 +12,7 @@
 //! loop amplitude ratio; as `G → L` the regeneration diverges and the real
 //! amplifier saturates.
 
-use movr_math::db::db_to_amplitude;
+use movr_math::db::{amplitude_to_db, db_to_amplitude};
 
 /// A single-amplifier positive-feedback loop.
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +55,7 @@ impl FeedbackLoop {
             return None;
         }
         let beta = self.loop_ratio();
-        Some(self.gain_db - 20.0 * (1.0 - beta).log10())
+        Some(self.gain_db - amplitude_to_db(1.0 - beta))
     }
 
     /// Regeneration (closed-loop minus forward gain), dB. `None` when

@@ -102,8 +102,8 @@ mod tests {
                 .into_iter()
                 .map(|tx| s.attenuation_db(tx, rx))
                 .collect();
-            let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             assert!(max - min >= 12.0, "rx={rx} swing={}", max - min);
             assert!(max - min <= 35.0);
         }

@@ -48,6 +48,7 @@ impl SupportDraw {
 /// The whole reflector's power model.
 #[derive(Debug, Clone, Copy)]
 pub struct ReflectorPower {
+    /// Fixed support-circuitry draw (phased arrays, control, sensing).
     pub support: SupportDraw,
     /// Supply voltage, volts.
     pub rail_v: f64,

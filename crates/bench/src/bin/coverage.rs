@@ -54,7 +54,10 @@ fn main() {
     }
 
     println!("\n--- conclusion ---");
-    let last = *plan.coverage_curve.last().unwrap();
+    let last = *plan
+        .coverage_curve
+        .last()
+        .expect("greedy planner emits at least the zero-reflector point");
     let first_gain = plan.coverage_curve.get(1).copied().unwrap_or(0.0)
         - plan.coverage_curve[0];
     println!(

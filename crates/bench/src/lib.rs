@@ -15,8 +15,11 @@ use movr_rfsim::Scene;
 /// north wall — a geometry where AP, reflector and play area are mutually
 /// within the arrays' electronic scan ranges (see `MovrSystem::paper_setup`).
 pub struct Deployment {
+    /// Room geometry plus obstacles.
     pub scene: Scene,
+    /// The access point endpoint on the west wall.
     pub ap: RadioEndpoint,
+    /// The wall-mounted MoVR reflector on the north wall.
     pub reflector: MovrReflector,
 }
 

@@ -24,7 +24,7 @@
 use crate::reflector::MovrReflector;
 use crate::relay::{relay_link, round_trip_reflection_dbm};
 use movr_math::SimRng;
-use movr_obs::{Event, NullRecorder, Recorder};
+use movr_obs::{null_capture, Capture, Event};
 use movr_phased_array::Codebook;
 use movr_radio::{RadioEndpoint, ToneProbe};
 use movr_rfsim::Scene;
@@ -93,30 +93,29 @@ pub fn estimate_incidence(
     config: &AlignmentConfig,
     rng: &mut SimRng,
 ) -> AlignmentResult {
-    estimate_incidence_recorded(scene, ap, reflector, config, rng, SimTime::ZERO, &mut NullRecorder)
+    estimate_incidence_recorded(scene, ap, reflector, config, rng, null_capture())
 }
 
 /// [`estimate_incidence`] with observability. The sweep is wrapped in an
-/// `alignment_sweep` span starting at `start`; a sim-time cursor advances
-/// by `beam_command_latency` per reflector beam change and by `dwell` per
-/// (θ₁, θ₂) probe, so every `beam_probe` event (`theta1_deg`,
-/// `theta2_deg`, `power_dbm`) is stamped with the instant its measurement
-/// completes. The winning pair is announced as `alignment_chosen`. The
-/// estimate itself is bit-identical to the plain function: the recorder
-/// draws nothing from `rng`.
-#[allow(clippy::too_many_arguments)]
+/// `alignment_sweep` span starting at `cap.start`; a sim-time cursor
+/// advances by `beam_command_latency` per reflector beam change and by
+/// `dwell` per (θ₁, θ₂) probe, so every `beam_probe` event
+/// (`theta1_deg`, `theta2_deg`, `power_dbm`) is stamped with the instant
+/// its measurement completes. The winning pair is announced as
+/// `alignment_chosen`. The estimate itself is bit-identical to the plain
+/// function: the recorder draws nothing from `rng`.
 pub fn estimate_incidence_recorded(
     scene: &Scene,
     mut ap: RadioEndpoint,
     mut reflector: MovrReflector,
     config: &AlignmentConfig,
     rng: &mut SimRng,
-    start: SimTime,
-    rec: &mut dyn Recorder,
+    cap: Capture<'_>,
 ) -> AlignmentResult {
     reflector.set_gain_db(config.probe_gain_db);
     reflector.set_modulating(config.modulated);
 
+    let Capture { start, rec } = cap;
     let span = if rec.enabled() {
         Some(rec.start_span(start, "alignment_sweep"))
     } else {
@@ -208,8 +207,7 @@ pub fn estimate_incidence_hierarchical(
         config,
         coarse_step_deg,
         rng,
-        SimTime::ZERO,
-        &mut NullRecorder,
+        null_capture(),
     )
 }
 
@@ -217,7 +215,6 @@ pub fn estimate_incidence_hierarchical(
 /// runs as its own recorded sweep (two `alignment_sweep` spans back to
 /// back — the fine stage starts where the coarse stage's cost model
 /// ends), so a timeline shows exactly where the measurement budget went.
-#[allow(clippy::too_many_arguments)]
 pub fn estimate_incidence_hierarchical_recorded(
     scene: &Scene,
     ap: RadioEndpoint,
@@ -225,8 +222,7 @@ pub fn estimate_incidence_hierarchical_recorded(
     config: &AlignmentConfig,
     coarse_step_deg: f64,
     rng: &mut SimRng,
-    start: SimTime,
-    rec: &mut dyn Recorder,
+    mut cap: Capture<'_>,
 ) -> AlignmentResult {
     assert!(coarse_step_deg >= 1.0, "coarse step below the fine step");
     let full_r = config.reflector_codebook.beams();
@@ -240,8 +236,15 @@ pub fn estimate_incidence_hierarchical_recorded(
         ap_codebook: Codebook::sweep(a_lo, a_hi, coarse_step_deg),
         ..config.clone()
     };
-    let coarse =
-        estimate_incidence_recorded(scene, ap, reflector.clone(), &coarse_cfg, rng, start, rec);
+    let coarse_start = cap.start;
+    let coarse = estimate_incidence_recorded(
+        scene,
+        ap,
+        reflector.clone(),
+        &coarse_cfg,
+        rng,
+        cap.stage(coarse_start),
+    );
 
     // Stage 2: fine, one coarse cell around the winner (clamped to the
     // original sweep bounds).
@@ -264,8 +267,7 @@ pub fn estimate_incidence_hierarchical_recorded(
         reflector,
         &fine_cfg,
         rng,
-        start + coarse.elapsed,
-        rec,
+        cap.stage(coarse_start + coarse.elapsed),
     );
 
     AlignmentResult {
@@ -292,33 +294,33 @@ pub struct ReflectionResult {
     pub elapsed: SimTime,
 }
 
+/// What the reflection-angle search sweeps over: the reflector's
+/// transmit-beam candidates, the headset's receive-beam candidates, and
+/// the shared protocol knobs (dwell, command latency, probe chain).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepParams<'a> {
+    /// Reflector transmit-beam candidates (absolute bearings, degrees).
+    pub tx_codebook: &'a Codebook,
+    /// Headset receive-beam candidates (absolute bearings, degrees).
+    pub headset_codebook: &'a Codebook,
+    /// Protocol knobs shared with the incidence stage.
+    pub config: &'a AlignmentConfig,
+}
+
 /// Estimates the reflection angle: the reflector's receive beam stays on
 /// the (already estimated) AP bearing; its transmit beam sweeps
-/// `tx_codebook` while the headset sweeps `headset_codebook` and reports
-/// SNR. SNR reports carry `snr_sigma_db` of measurement noise.
-#[allow(clippy::too_many_arguments)]
+/// `sweep.tx_codebook` while the headset sweeps `sweep.headset_codebook`
+/// and reports SNR. SNR reports carry `snr_sigma_db` of measurement
+/// noise.
 pub fn estimate_reflection(
     scene: &Scene,
     ap: &RadioEndpoint,
     reflector: MovrReflector,
     headset: RadioEndpoint,
-    tx_codebook: &Codebook,
-    headset_codebook: &Codebook,
-    config: &AlignmentConfig,
+    sweep: &SweepParams<'_>,
     rng: &mut SimRng,
 ) -> ReflectionResult {
-    estimate_reflection_recorded(
-        scene,
-        ap,
-        reflector,
-        headset,
-        tx_codebook,
-        headset_codebook,
-        config,
-        rng,
-        SimTime::ZERO,
-        &mut NullRecorder,
-    )
+    estimate_reflection_recorded(scene, ap, reflector, headset, sweep, rng, null_capture())
 }
 
 /// [`estimate_reflection`] with observability: a `reflection_sweep` span
@@ -326,19 +328,21 @@ pub fn estimate_reflection(
 /// gain loop (so its `gain_ramp` span nests inside), then each headset
 /// probe emits `reflect_probe` (`tx_deg`, `rx_deg`, `snr_db`); the
 /// winner is announced as `reflection_chosen`.
-#[allow(clippy::too_many_arguments)]
 pub fn estimate_reflection_recorded(
     scene: &Scene,
     ap: &RadioEndpoint,
     mut reflector: MovrReflector,
     mut headset: RadioEndpoint,
-    tx_codebook: &Codebook,
-    headset_codebook: &Codebook,
-    config: &AlignmentConfig,
+    sweep: &SweepParams<'_>,
     rng: &mut SimRng,
-    start: SimTime,
-    rec: &mut dyn Recorder,
+    cap: Capture<'_>,
 ) -> ReflectionResult {
+    let SweepParams {
+        tx_codebook,
+        headset_codebook,
+        config,
+    } = *sweep;
+    let Capture { start, rec } = cap;
     reflector.set_modulating(false);
     let span = if rec.enabled() {
         Some(rec.start_span(start, "reflection_sweep"))
@@ -509,16 +513,13 @@ mod tests {
         let tx_cb = Codebook::sweep(truth_tx - 30.0, truth_tx + 30.0, 3.0);
         let hs_cb = Codebook::sweep(truth_hs - 30.0, truth_hs + 30.0, 3.0);
         let mut rng = SimRng::seed_from_u64(3);
-        let r = estimate_reflection(
-            &scene,
-            &ap,
-            reflector,
-            headset,
-            &tx_cb,
-            &hs_cb,
-            &AlignmentConfig::default(),
-            &mut rng,
-        );
+        let cfg = AlignmentConfig::default();
+        let sweep = SweepParams {
+            tx_codebook: &tx_cb,
+            headset_codebook: &hs_cb,
+            config: &cfg,
+        };
+        let r = estimate_reflection(&scene, &ap, reflector, headset, &sweep, &mut rng);
         assert!(
             arc(r.tx_angle_deg, truth_tx) <= 3.0,
             "tx est {} truth {truth_tx}",
@@ -573,7 +574,12 @@ mod tests {
         let mut rng_b = SimRng::seed_from_u64(4);
         let mut rec = MemoryRecorder::new();
         let rich = estimate_incidence_recorded(
-            &scene, ap, reflector, &cfg, &mut rng_b, start, &mut rec,
+            &scene,
+            ap,
+            reflector,
+            &cfg,
+            &mut rng_b,
+            Capture::new(start, &mut rec),
         );
 
         // Observability must not change the answer.
@@ -610,7 +616,13 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(21);
         let mut rec = MemoryRecorder::new();
         let r = estimate_incidence_hierarchical_recorded(
-            &scene, ap, reflector, &cfg, 5.0, &mut rng, SimTime::ZERO, &mut rec,
+            &scene,
+            ap,
+            reflector,
+            &cfg,
+            5.0,
+            &mut rng,
+            Capture::from_zero(&mut rec),
         );
         let spans = rec.spans();
         assert_eq!(spans.len(), 2, "coarse + fine stages");
@@ -637,17 +649,20 @@ mod tests {
         let hs_cb = Codebook::sweep(truth_hs - 9.0, truth_hs + 9.0, 3.0);
         let mut rng = SimRng::seed_from_u64(3);
         let mut rec = MemoryRecorder::new();
+        let cfg = AlignmentConfig::default();
+        let sweep = SweepParams {
+            tx_codebook: &tx_cb,
+            headset_codebook: &hs_cb,
+            config: &cfg,
+        };
         let r = estimate_reflection_recorded(
             &scene,
             &ap,
             reflector,
             headset,
-            &tx_cb,
-            &hs_cb,
-            &AlignmentConfig::default(),
+            &sweep,
             &mut rng,
-            SimTime::ZERO,
-            &mut rec,
+            Capture::from_zero(&mut rec),
         );
         assert_eq!(rec.of_kind("reflect_probe").count(), r.measurements);
         // One §4.2 gain ramp per candidate TX beam, inside the sweep.

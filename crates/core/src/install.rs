@@ -47,7 +47,9 @@ pub struct InstallReport {
 /// Installation knobs.
 #[derive(Debug, Clone)]
 pub struct InstallConfig {
+    /// Alignment-sweep knobs (§4.1).
     pub alignment: AlignmentConfig,
+    /// Gain-control knobs (§4.2).
     pub gain_control: GainControlConfig,
     /// Retries per control command before declaring the install failed.
     pub max_retries: u32,

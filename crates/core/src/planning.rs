@@ -18,7 +18,9 @@ use movr_rfsim::{Room, Scene};
 /// A candidate wall mount.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mount {
+    /// Mount position on a wall, metres.
     pub position: Vec2,
+    /// Array boresight bearing (into the room), degrees.
     pub boresight_deg: f64,
 }
 

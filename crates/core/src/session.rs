@@ -25,7 +25,10 @@ pub enum Strategy {
     /// WHDI-class link with perfect steering but no reflector achieves.
     DirectOnly,
     /// The full MoVR system; `tracking` selects §6's fast realignment.
-    Movr { tracking: bool },
+    Movr {
+        /// Enable §6 fast realignment from headset pose tracking.
+        tracking: bool,
+    },
 }
 
 /// How the transmitter picks its MCS from SNR reports.
@@ -34,11 +37,17 @@ pub enum RatePolicy {
     /// Exact lookup on the true SNR (idealised upper bound).
     Oracle,
     /// Highest decodable MCS from a noisy report, minus a backoff.
-    Threshold { backoff_db: f64 },
+    Threshold {
+        /// Backoff subtracted from the reported SNR, dB.
+        backoff_db: f64,
+    },
     /// Threshold with upgrade hysteresis (downgrades immediate).
     HysteresisPolicy {
+        /// Extra SNR margin required before upgrading, dB.
         up_margin_db: f64,
+        /// Consecutive qualifying reports required before upgrading.
         up_count: usize,
+        /// Backoff subtracted from the reported SNR, dB.
         backoff_db: f64,
     },
 }
@@ -46,9 +55,13 @@ pub enum RatePolicy {
 /// Session parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionConfig {
+    /// Which link strategy the session runs (§3 baselines or MoVR).
     pub strategy: Strategy,
+    /// VR traffic generator parameters.
     pub traffic: VrTrafficModel,
+    /// Motion-to-photon latency budget.
     pub latency: LatencyBudget,
+    /// Physical-layer system parameters.
     pub system: SystemConfig,
     /// MCS selection policy.
     pub rate_policy: RatePolicy,

@@ -92,9 +92,8 @@ impl BeamPredictor {
     /// observation has been fed yet.
     pub fn predict(&self, t_s: f64) -> Option<TrackedPose> {
         let &(t_last, last) = self.history.back()?;
-        let (v, w) = match self.velocity() {
-            Some(vw) => vw,
-            None => return Some(last),
+        let Some((v, w)) = self.velocity() else {
+            return Some(last);
         };
         let dt = (t_s - t_last).clamp(0.0, self.max_horizon_s);
         Some(TrackedPose {

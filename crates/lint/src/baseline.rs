@@ -1,0 +1,185 @@
+//! The ratcheting baseline: existing violations pinned in
+//! `lint-baseline.toml` as `(file, rule) -> count`. New violations fail
+//! the gate; fixing violations without shrinking the baseline also
+//! fails (a *stale* entry), so counts can only go down.
+//!
+//! The file is a deliberately tiny TOML subset — `[[entry]]` tables with
+//! `file`, `rule`, and `count` keys — parsed in-tree so the analyzer
+//! stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Pinned violation counts keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (everything is a new violation).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// The pinned count for `(file, rule)`, 0 if absent.
+    pub fn allowed(&self, file: &str, rule: &str) -> usize {
+        self.entries
+            .get(&(file.to_string(), rule.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates pinned entries as `((file, rule), count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), usize)> {
+        self.entries.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Number of pinned entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the TOML subset. Errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+                         lineno: usize|
+         -> Result<(), String> {
+            if let Some((file, rule, count)) = cur.take() {
+                match (file, rule, count) {
+                    (Some(f), Some(r), Some(c)) => {
+                        if entries.insert((f.clone(), r.clone()), c).is_some() {
+                            return Err(format!(
+                                "line {lineno}: duplicate baseline entry for {f} / {r}"
+                            ));
+                        }
+                        Ok(())
+                    }
+                    _ => Err(format!(
+                        "entry ending before line {lineno} is missing file/rule/count"
+                    )),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut cur, lineno)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+            };
+            let Some(cur) = cur.as_mut() else {
+                return Err(format!("line {lineno}: `{key}` outside an [[entry]] table"));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "file" => cur.0 = Some(unquote(value, lineno)?),
+                "rule" => cur.1 = Some(unquote(value, lineno)?),
+                "count" => {
+                    cur.2 = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: count must be a non-negative integer")
+                    })?);
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        flush(&mut cur, text.lines().count() + 1)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Renders counts grouped by `(file, rule)` into the committed
+    /// format, sorted for stable diffs.
+    pub fn render(counts: &BTreeMap<(String, String), usize>) -> String {
+        let mut out = String::from(
+            "# movr-lint ratcheting baseline.\n\
+             #\n\
+             # Each entry pins the number of pre-existing violations of one rule in\n\
+             # one file. The gate fails if a file exceeds its pinned count (new\n\
+             # violation) OR comes in under it (stale entry: shrink the count so the\n\
+             # ratchet only ever tightens). Regenerate after fixing violations with:\n\
+             #\n\
+             #   cargo run -p movr-lint -- --write-baseline\n\n",
+        );
+        for ((file, rule), count) in counts {
+            if *count == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "[[entry]]");
+            let _ = writeln!(out, "file = \"{file}\"");
+            let _ = writeln!(out, "rule = \"{rule}\"");
+            let _ = writeln!(out, "count = {count}\n");
+        }
+        out
+    }
+}
+
+fn unquote(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string"))?;
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            ("crates/core/src/session.rs".to_string(), "unwrap-in-lib".to_string()),
+            3,
+        );
+        counts.insert(
+            ("crates/math/src/vec2.rs".to_string(), "float-exact-eq".to_string()),
+            2,
+        );
+        // Zero-count entries are dropped on render.
+        counts.insert(("x.rs".to_string(), "unwrap-in-lib".to_string()), 0);
+        let text = Baseline::render(&counts);
+        let parsed = Baseline::parse(&text).expect("rendered baseline parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.allowed("crates/core/src/session.rs", "unwrap-in-lib"), 3);
+        assert_eq!(parsed.allowed("crates/math/src/vec2.rs", "float-exact-eq"), 2);
+        assert_eq!(parsed.allowed("x.rs", "unwrap-in-lib"), 0);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        assert!(Baseline::parse("file = \"a\"").unwrap_err().contains("line 1"));
+        assert!(Baseline::parse("[[entry]]\nfile = \"a\"\n")
+            .unwrap_err()
+            .contains("missing"));
+        assert!(Baseline::parse("[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = x\n")
+            .unwrap_err()
+            .contains("integer"));
+        let dup = "[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = 1\n\n[[entry]]\nfile = \"a\"\nrule = \"r\"\ncount = 2\n";
+        assert!(Baseline::parse(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n[[entry]]\n# inner\nfile = \"a.rs\"\nrule = \"r\"\ncount = 7\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.allowed("a.rs", "r"), 7);
+    }
+}

@@ -1,0 +1,414 @@
+//! A minimal Rust lexer: just enough fidelity for token-pattern lint
+//! rules. Comments and literal *contents* are discarded so rules never
+//! fire on prose, doc comments, or strings; what survives is the stream
+//! of identifiers, numbers, and punctuation with source line numbers.
+//!
+//! The lexer understands line/block (nested) comments, plain and raw
+//! strings (`r#"…"#`, any hash depth), byte strings, char and byte
+//! literals, lifetimes (`'a` is not an unterminated char), and numeric
+//! literals with underscores, base prefixes, exponents, and type
+//! suffixes. It does not need to be a *complete* Rust lexer — anything
+//! exotic degrades to skipped bytes, never to a panic.
+
+/// A lexical token and the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+/// Token categories. Literal contents are dropped (only idents and
+/// numbers keep their text — that is what the rules match on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Instant`, `as`, …).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal, raw text preserved (`10.0`, `0x9E`, `2f64`, `1e-9`).
+    Number(String),
+    /// String, raw-string, or byte-string literal (content dropped).
+    Str,
+    /// Character or byte literal (content dropped).
+    Char,
+    /// A single punctuation character (`.`, `=`, `!`, `(`, `{`, …).
+    Punct(char),
+}
+
+impl Token {
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into tokens. Never panics; bytes it cannot classify
+/// (e.g. non-ASCII outside literals) are skipped.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'"' => self.lex_string(),
+                b'\'' => self.lex_lifetime_or_char(),
+                _ if c == b'_' || c.is_ascii_alphabetic() => self.lex_ident_or_prefixed(),
+                _ if c.is_ascii_digit() => self.lex_number(),
+                _ if c.is_ascii() => {
+                    self.push(TokenKind::Punct(char::from(c)));
+                    self.i += 1;
+                }
+                // Non-ASCII outside a literal (θ in an ident, say):
+                // skip the whole UTF-8 sequence.
+                _ => {
+                    self.i += 1;
+                    while self.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        let line = self.line;
+        self.out.push(Token { kind, line });
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.peek(0).is_some_and(|b| b != b'\n') {
+            self.i += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            match self.b[self.i] {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// `self.i` is at the opening `"`. Consumes through the closing
+    /// quote, honouring escapes and counting embedded newlines.
+    fn lex_string(&mut self) {
+        let start_line = self.line;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.i += 2;
+                }
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Str,
+            line: start_line,
+        });
+    }
+
+    /// `self.i` is at `r` or `b` and the following bytes open a raw
+    /// string: `r"`, `r#…#"`, `br"`, `br#…#"`.
+    fn lex_raw_string(&mut self) {
+        let start_line = self.line;
+        // Skip the prefix letters.
+        while self.peek(0).is_some_and(|b| b == b'r' || b == b'b') {
+            self.i += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.b[self.i] == b'"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(1 + seen) == Some(b'#') {
+                    seen += 1;
+                }
+                if seen == hashes {
+                    self.i += 1 + hashes;
+                    break;
+                }
+            }
+            self.i += 1;
+        }
+        self.out.push(Token {
+            kind: TokenKind::Str,
+            line: start_line,
+        });
+    }
+
+    /// `self.i` is at `'`: either a lifetime (`'a`, `'_`) or a char
+    /// literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    fn lex_lifetime_or_char(&mut self) {
+        let next = self.peek(1);
+        let is_lifetime = next.is_some_and(|b| b == b'_' || b.is_ascii_alphabetic())
+            && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            self.push(TokenKind::Lifetime);
+            self.i += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+            return;
+        }
+        let start_line = self.line;
+        self.i += 1;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.out.push(Token {
+            kind: TokenKind::Char,
+            line: start_line,
+        });
+    }
+
+    /// At an identifier start. Handles the literal prefixes `r"…"`,
+    /// `b"…"`, `br"…"`, and `b'…'`; everything else is a plain ident.
+    fn lex_ident_or_prefixed(&mut self) {
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            self.i += 1;
+        }
+        let word = &self.b[start..self.i];
+        let next = self.peek(0);
+        let raw_string = (word == b"r" || word == b"br")
+            && matches!(next, Some(b'"') | Some(b'#'));
+        if raw_string {
+            self.i = start;
+            self.lex_raw_string();
+            return;
+        }
+        if word == b"b" && next == Some(b'"') {
+            self.lex_string();
+            // Rewrite the line: lex_string pushed with the quote's line,
+            // which equals ours — nothing to fix.
+            return;
+        }
+        if word == b"b" && next == Some(b'\'') {
+            self.lex_lifetime_or_char();
+            return;
+        }
+        // `r#ident` raw identifiers: treat the part after `r#` as the name.
+        if word == b"r" && next == Some(b'#') && self.peek(1).is_some_and(|b| b == b'_' || b.is_ascii_alphabetic()) {
+            self.i += 1; // the '#'
+            let id_start = self.i;
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+            let name = String::from_utf8_lossy(&self.b[id_start..self.i]).into_owned();
+            self.push(TokenKind::Ident(name));
+            return;
+        }
+        let name = String::from_utf8_lossy(word).into_owned();
+        self.push(TokenKind::Ident(name));
+    }
+
+    /// At a digit. Consumes base prefixes, underscores, a fractional
+    /// part (only when followed by a digit — `10.powf` keeps its dot),
+    /// an exponent, and any type suffix.
+    fn lex_number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        if self.b[self.i] == b'0'
+            && self
+                .peek(1)
+                .is_some_and(|b| matches!(b | 0x20, b'x' | b'o' | b'b'))
+        {
+            self.i += 2;
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+        } else {
+            self.eat_digits();
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                self.i += 1;
+                self.eat_digits();
+            }
+            if self.peek(0).is_some_and(|b| b | 0x20 == b'e') {
+                let signed = matches!(self.peek(1), Some(b'+') | Some(b'-'));
+                let first = if signed { self.peek(2) } else { self.peek(1) };
+                if first.is_some_and(|b| b.is_ascii_digit()) {
+                    self.i += if signed { 2 } else { 1 };
+                    self.eat_digits();
+                }
+            }
+            // Type suffix (`f64`, `u32`, …).
+            while self
+                .peek(0)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphanumeric())
+            {
+                self.i += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.push(Token {
+            kind: TokenKind::Number(text),
+            line,
+        });
+    }
+
+    fn eat_digits(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b == b'_' || b.is_ascii_digit())
+        {
+            self.i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // Instant in a comment
+            /* SystemTime in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"SystemTime "quoted" inside"#;
+        "##;
+        assert!(!idents(src).iter().any(|i| i == "Instant" || i == "SystemTime"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn numbers_keep_text_and_release_method_dots() {
+        let toks = lex("10f64.powf(db / 10.0) + 1e-9 + 0x9E37_79B9");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Number(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["10f64", "10.0", "1e-9", "0x9E37_79B9"]);
+        assert!(toks.iter().any(|t| t.is_ident("powf")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let toks = lex(r#"let x = "a\"b"; y"#);
+        assert!(toks.iter().any(|t| t.is_ident("y")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+}

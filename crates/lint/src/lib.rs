@@ -1,0 +1,353 @@
+//! movr-lint: in-tree determinism & unit-safety static analyzer.
+//!
+//! The whole reproduction rests on two machine-checkable invariants:
+//! every run is bit-deterministic under `SimRng` + `SimTime`, and all
+//! link-budget arithmetic goes through the audited `movr_math::db`
+//! helpers (a 10-vs-20-log10 slip silently skews every figure). This
+//! crate enforces those invariants — plus general hygiene (unwraps,
+//! lossy casts, unjustified allows) — as structured diagnostics over a
+//! hand-rolled Rust lexer, with a committed ratcheting baseline so
+//! pre-existing violations can only shrink.
+//!
+//! Three front doors:
+//! * the `movr-lint` binary (human and `--json` output, `--write-baseline`),
+//! * `check_workspace` called from the root package's `tests/lint_gate.rs`
+//!   so `cargo test` runs the gate,
+//! * a `verify.sh` stage that fails CI on any non-baseline diagnostic.
+
+mod baseline;
+mod lexer;
+mod rules;
+mod source;
+
+pub use baseline::Baseline;
+pub use rules::{Diagnostic, RULES};
+pub use source::SourceFile;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
+
+/// A baseline entry that no longer matches reality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Workspace-relative file path of the pinned entry.
+    pub file: String,
+    /// Rule id of the pinned entry.
+    pub rule: String,
+    /// The count the baseline pins.
+    pub pinned: usize,
+    /// The count actually found (strictly less than `pinned`).
+    pub actual: usize,
+}
+
+/// The outcome of a full workspace run, after the ratchet is applied.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every diagnostic found, baselined or not, sorted by location.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics in `(file, rule)` groups that exceed their pinned
+    /// count — these fail the gate.
+    pub new: Vec<Diagnostic>,
+    /// Baseline entries whose pinned count exceeds reality — these also
+    /// fail the gate (shrink the baseline; the ratchet only tightens).
+    pub stale: Vec<StaleEntry>,
+    /// Number of diagnostics absorbed by the baseline.
+    pub baselined: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is exactly at its pinned state: no new
+    /// violations and no stale entries.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Actual violation counts grouped by `(file, rule)`, for
+    /// `--write-baseline`.
+    pub fn counts(&self) -> BTreeMap<(String, String), usize> {
+        let mut counts = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts
+                .entry((d.file.clone(), d.rule.to_string()))
+                .or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Human-readable rendering: new diagnostics, stale entries, then a
+    /// one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.new {
+            let _ = writeln!(out, "{}:{}: [{}] {}", d.file, d.line, d.rule, d.snippet);
+            let _ = writeln!(out, "    hint: {}", d.hint);
+        }
+        for s in &self.stale {
+            let _ = writeln!(
+                out,
+                "{}: [{}] stale baseline: pins {} but only {} found — run `cargo run -p movr-lint -- --write-baseline` to tighten the ratchet",
+                s.file, s.rule, s.pinned, s.actual
+            );
+        }
+        let _ = writeln!(
+            out,
+            "movr-lint: {} file(s), {} diagnostic(s) ({} baselined, {} new), {} stale baseline entr(ies)",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.baselined,
+            self.new.len(),
+            self.stale.len()
+        );
+        out
+    }
+
+    /// Machine-readable rendering: one JSON object (hand-rolled, no
+    /// dependencies) with `new`, `stale`, and summary fields.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"new\": [");
+        for (i, d) in self.new.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"hint\": \"{}\"}}",
+                json_escape(d.rule),
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.snippet),
+                json_escape(&d.hint)
+            );
+        }
+        out.push_str("\n  ],\n  \"stale\": [");
+        for (i, s) in self.stale.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"pinned\": {}, \"actual\": {}}}",
+                json_escape(&s.rule),
+                json_escape(&s.file),
+                s.pinned,
+                s.actual
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  ],\n  \"files_scanned\": {},\n  \"diagnostics\": {},\n  \"baselined\": {},\n  \"clean\": {}\n}}",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.baselined,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collects the workspace-relative paths of every `.rs` file under
+/// `root`, skipping `target/`, `.git/`, hidden directories, and any
+/// directory named `fixtures` (lint self-test corpora carry seeded
+/// violations by design).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lexes and classifies every workspace source file under `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        files.push(SourceFile::parse(&rel, &src));
+    }
+    Ok(files)
+}
+
+/// Runs every rule over the workspace at `root` with no baseline
+/// applied: the raw diagnostic list.
+pub fn analyze(root: &Path) -> io::Result<Report> {
+    let files = load_workspace(root)?;
+    let diagnostics = rules::run_all(&files);
+    Ok(Report {
+        new: diagnostics.clone(),
+        diagnostics,
+        stale: Vec::new(),
+        baselined: 0,
+        files_scanned: files.len(),
+    })
+}
+
+/// Applies the ratchet: groups `diagnostics` by `(file, rule)` and
+/// splits them against `baseline` into new / baselined / stale.
+pub fn apply_baseline(mut report: Report, baseline: &Baseline) -> Report {
+    let counts = report.counts();
+    report.new = report
+        .diagnostics
+        .iter()
+        .filter(|d| {
+            let actual = counts[&(d.file.clone(), d.rule.to_string())];
+            actual > baseline.allowed(&d.file, d.rule)
+        })
+        .cloned()
+        .collect();
+    report.baselined = report.diagnostics.len() - report.new.len();
+    report.stale = baseline
+        .iter()
+        .filter_map(|((file, rule), pinned)| {
+            let actual = counts
+                .get(&(file.clone(), rule.clone()))
+                .copied()
+                .unwrap_or(0);
+            (actual < pinned).then(|| StaleEntry {
+                file: file.clone(),
+                rule: rule.clone(),
+                pinned,
+                actual,
+            })
+        })
+        .collect();
+    report
+}
+
+/// The full gate: analyze `root`, load `lint-baseline.toml` from it
+/// (missing file = empty baseline), and apply the ratchet. This is what
+/// the root package's `tests/lint_gate.rs` and `verify.sh` call.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let report = analyze(root)?;
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = if baseline_path.exists() {
+        let text = fs::read_to_string(&baseline_path)?;
+        Baseline::parse(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", baseline_path.display()),
+            )
+        })?
+    } else {
+        Baseline::empty()
+    };
+    Ok(apply_baseline(report, &baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn d(file: &str, rule: &'static str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line,
+            snippet: String::new(),
+            hint: String::new(),
+        }
+    }
+
+    fn report_with(diags: Vec<Diagnostic>) -> Report {
+        Report {
+            new: diags.clone(),
+            diagnostics: diags,
+            stale: Vec::new(),
+            baselined: 0,
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn ratchet_matching_count_is_clean() {
+        let r = report_with(vec![d("a.rs", "unwrap-in-lib", 1), d("a.rs", "unwrap-in-lib", 9)]);
+        let mut counts = BTreeMap::new();
+        counts.insert(("a.rs".to_string(), "unwrap-in-lib".to_string()), 2);
+        let b = Baseline::parse(&Baseline::render(&counts)).expect("baseline");
+        let r = apply_baseline(r, &b);
+        assert!(r.is_clean(), "{}", r.render_human());
+        assert_eq!(r.baselined, 2);
+    }
+
+    #[test]
+    fn ratchet_excess_is_new_and_deficit_is_stale() {
+        let r = report_with(vec![d("a.rs", "unwrap-in-lib", 1)]);
+        let mut counts = BTreeMap::new();
+        counts.insert(("a.rs".to_string(), "unwrap-in-lib".to_string()), 2);
+        counts.insert(("gone.rs".to_string(), "float-exact-eq".to_string()), 1);
+        let b = Baseline::parse(&Baseline::render(&counts)).expect("baseline");
+        let r = apply_baseline(r, &b);
+        assert!(!r.is_clean());
+        assert!(r.new.is_empty(), "under-count is stale, not new");
+        assert_eq!(r.stale.len(), 2);
+        let pinned: Vec<_> = r.stale.iter().map(|s| (s.pinned, s.actual)).collect();
+        assert!(pinned.contains(&(2, 1)) && pinned.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn ratchet_new_violation_fails() {
+        let r = report_with(vec![d("a.rs", "no-wall-clock", 3)]);
+        let r = apply_baseline(r, &Baseline::empty());
+        assert!(!r.is_clean());
+        assert_eq!(r.new.len(), 1);
+        assert!(r.render_human().contains("no-wall-clock"));
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let mut diag = d("a.rs", "unwrap-in-lib", 1);
+        diag.snippet = "say \"hi\"\\".to_string();
+        let r = apply_baseline(report_with(vec![diag]), &Baseline::empty());
+        let json = r.render_json();
+        assert!(json.contains("say \\\"hi\\\"\\\\"));
+        assert!(json.contains("\"clean\": false"));
+    }
+}

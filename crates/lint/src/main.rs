@@ -1,0 +1,98 @@
+//! The `movr-lint` CLI.
+//!
+//! ```text
+//! movr-lint [--root DIR] [--json] [--write-baseline] [--no-baseline]
+//! ```
+//!
+//! Exit codes: 0 = clean (exactly at the pinned baseline), 1 = new
+//! violations or stale baseline entries, 2 = usage or I/O error.
+
+use movr_lint::{analyze, apply_baseline, check_workspace, Baseline, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut no_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--no-baseline" => no_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "movr-lint: determinism & unit-safety analyzer for the MoVR workspace\n\n\
+                     USAGE: movr-lint [--root DIR] [--json] [--write-baseline] [--no-baseline]\n\n\
+                     --root DIR         workspace root (default: current directory)\n\
+                     --json             machine-readable report on stdout\n\
+                     --write-baseline   regenerate {BASELINE_FILE} from current findings\n\
+                     --no-baseline      report every diagnostic, ignoring the baseline"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !root.join("Cargo.toml").exists() {
+        return usage(&format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+
+    if write_baseline {
+        let report = match analyze(&root) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("analysis failed: {e}")),
+        };
+        let text = Baseline::render(&report.counts());
+        let path = root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, text) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+        println!(
+            "movr-lint: pinned {} diagnostic(s) across {} file(s) into {}",
+            report.diagnostics.len(),
+            report.files_scanned,
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if no_baseline {
+        analyze(&root).map(|r| apply_baseline(r, &Baseline::empty()))
+    } else {
+        check_workspace(&root)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("analysis failed: {e}")),
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("movr-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("movr-lint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,616 @@
+//! The domain rule catalogue. Each rule walks a [`SourceFile`]'s token
+//! stream (plus one cross-file rule for RNG fork labels) and emits
+//! structured [`Diagnostic`]s. See `DESIGN.md` § "Static analysis" for
+//! the rationale behind each rule and how to add one.
+
+use crate::source::{FileKind, SourceFile};
+use crate::lexer::{Token, TokenKind};
+use std::collections::HashMap;
+
+/// One finding: a rule, a location, the offending line, and a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (`unwrap-in-lib`, `no-wall-clock`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line.
+    pub snippet: String,
+    /// How to fix or silence the finding.
+    pub hint: String,
+}
+
+/// All rule ids, in reporting order. Kept public so the baseline writer
+/// and the self-test can enumerate the catalogue.
+pub const RULES: &[&str] = &[
+    "no-wall-clock",
+    "no-external-rng",
+    "rng-fork-label-unique",
+    "raw-db-arithmetic",
+    "float-exact-eq",
+    "recorded-pairing",
+    "unwrap-in-lib",
+    "raw-numeric-cast",
+    "unjustified-allow",
+];
+
+/// Runs every rule over `files` and returns the combined findings,
+/// sorted by (file, line, rule).
+pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        no_wall_clock(f, &mut out);
+        no_external_rng(f, &mut out);
+        raw_db_arithmetic(f, &mut out);
+        float_exact_eq(f, &mut out);
+        recorded_pairing(f, &mut out);
+        unwrap_in_lib(f, &mut out);
+        raw_numeric_cast(f, &mut out);
+        unjustified_allow(f, &mut out);
+    }
+    rng_fork_label_unique(files, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    out
+}
+
+fn diag(f: &SourceFile, rule: &'static str, line: usize, hint: impl Into<String>) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: f.rel.clone(),
+        line,
+        snippet: f.snippet(line),
+        hint: hint.into(),
+    }
+}
+
+/// **no-wall-clock** — `std::time::Instant`/`SystemTime` anywhere
+/// outside the `testkit` and `bench` crates. Simulation code must be a
+/// pure function of `SimTime` + `SimRng`; a wall clock breaks bit
+/// determinism silently.
+fn no_wall_clock(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.crate_name == "testkit" || f.crate_name == "bench" {
+        return;
+    }
+    for t in &f.tokens {
+        if let TokenKind::Ident(name) = &t.kind {
+            if name == "Instant" || name == "SystemTime" {
+                out.push(diag(
+                    f,
+                    "no-wall-clock",
+                    t.line,
+                    "simulation code must use movr_sim::SimTime (wall clocks break determinism); timing utilities live in movr-testkit",
+                ));
+            }
+        }
+    }
+}
+
+/// **no-external-rng** — any randomness source other than
+/// `movr_math::rng::SimRng`. External RNGs are unseeded or
+/// version-dependent; both destroy reproducibility.
+fn no_external_rng(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "ThreadRng",
+        "StdRng",
+        "SmallRng",
+        "OsRng",
+        "from_entropy",
+        "getrandom",
+        "rand_core",
+    ];
+    for (i, t) in f.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
+        let banned = BANNED.contains(&name.as_str())
+            || (name == "rand"
+                && f.tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && f.tokens.get(i + 2).is_some_and(|t| t.is_punct(':')));
+        if banned {
+            out.push(diag(
+                f,
+                "no-external-rng",
+                t.line,
+                "draw from movr_math::rng::SimRng (seeded, forkable) so every run replays bit-exactly",
+            ));
+        }
+    }
+}
+
+/// **rng-fork-label-unique** — two `fork(<literal>)` calls with the same
+/// label inside one crate's library code produce *correlated* child
+/// streams if they ever fork the same parent at the same position.
+/// Labels must be unique per crate.
+fn rng_fork_label_unique(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    // crate name -> label text -> first-seen location.
+    let mut seen: HashMap<(String, String), (String, usize)> = HashMap::new();
+    let mut hits: Vec<(usize, usize)> = Vec::new(); // (file idx, token idx)
+    for (fi, f) in files.iter().enumerate() {
+        if f.kind != FileKind::Lib {
+            continue;
+        }
+        for (i, t) in f.tokens.iter().enumerate() {
+            if t.is_ident("fork")
+                && i >= 1
+                && f.tokens[i - 1].is_punct('.')
+                && f.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && matches!(f.tokens.get(i + 2).map(|t| &t.kind), Some(TokenKind::Number(_)))
+                && f.tokens.get(i + 3).is_some_and(|t| t.is_punct(')'))
+                && !f.is_test_code(i)
+            {
+                hits.push((fi, i));
+            }
+        }
+    }
+    for (fi, i) in hits {
+        let f = &files[fi];
+        let TokenKind::Number(label) = &f.tokens[i + 2].kind else {
+            continue;
+        };
+        let key = (f.crate_name.clone(), normalize_number(label));
+        let line = f.tokens[i].line;
+        if let Some((first_file, first_line)) = seen.get(&key) {
+            out.push(diag(
+                f,
+                "rng-fork-label-unique",
+                line,
+                format!(
+                    "fork label {} already used at {first_file}:{first_line} in crate `{}`; duplicate labels correlate the child streams",
+                    key.1, f.crate_name
+                ),
+            ));
+        } else {
+            seen.insert(key, (f.rel.clone(), line));
+        }
+    }
+}
+
+/// **raw-db-arithmetic** — inline `powf(x/10.0)`- or `10.0*log10`-style
+/// dB conversions outside `crates/math/src/db.rs`. A 10-vs-20 slip
+/// (power vs amplitude) silently skews every figure; all conversions go
+/// through the audited helpers.
+fn raw_db_arithmetic(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.rel == "crates/math/src/db.rs" {
+        return;
+    }
+    const HINT: &str =
+        "use movr_math::db (db_to_linear / linear_to_db / db_to_amplitude / amplitude_to_db); the 10-vs-20 factor is audited there once";
+    for (i, t) in f.tokens.iter().enumerate() {
+        if f.is_test_code(i) {
+            continue;
+        }
+        // powf(... / 10.0 ...) or powf(... / 20.0 ...)
+        if t.is_ident("powf") && f.tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            let close = match_paren(&f.tokens, i + 1);
+            let args = &f.tokens[i + 2..close.min(f.tokens.len())];
+            let divides_by_db_factor = args.windows(2).any(|w| {
+                w[0].is_punct('/')
+                    && matches!(&w[1].kind, TokenKind::Number(n) if is_db_factor(n))
+            });
+            if divides_by_db_factor {
+                out.push(diag(f, "raw-db-arithmetic", t.line, HINT));
+            }
+        }
+        // 10.0 * (...).log10()  /  (...).log10() * 20.0  (same line)
+        if t.is_ident("log10") {
+            let line = t.line;
+            let line_toks: Vec<&Token> =
+                f.tokens.iter().filter(|t| t.line == line).collect();
+            let multiplied = line_toks.windows(2).any(|w| {
+                (w[0].is_punct('*')
+                    && matches!(&w[1].kind, TokenKind::Number(n) if is_db_factor(n)))
+                    || (w[1].is_punct('*')
+                        && matches!(&w[0].kind, TokenKind::Number(n) if is_db_factor(n)))
+            });
+            if multiplied {
+                out.push(diag(f, "raw-db-arithmetic", line, HINT));
+            }
+        }
+    }
+}
+
+/// **float-exact-eq** — `==`/`!=` against a float literal (or a float
+/// constant like `f64::INFINITY`) outside test code. Exact float
+/// comparison is almost always a tolerance bug in simulation code;
+/// intentional exact guards live in the baseline.
+fn float_exact_eq(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for i in 0..f.tokens.len().saturating_sub(1) {
+        let is_eq = f.tokens[i].is_punct('=') && f.tokens[i + 1].is_punct('=');
+        let is_ne = f.tokens[i].is_punct('!') && f.tokens[i + 1].is_punct('=');
+        if !(is_eq || is_ne) || f.is_test_code(i) {
+            continue;
+        }
+        // `<=`, `>=`, and `a == = b` cannot appear; `=>` is ('=','>').
+        if i >= 1 && (f.tokens[i - 1].is_punct('<') || f.tokens[i - 1].is_punct('>')) {
+            continue;
+        }
+        let before = i.checked_sub(1).map(|j| &f.tokens[j]);
+        // A leading unary minus on the right-hand side (`x == -1.0`).
+        let after_idx = if f.tokens.get(i + 2).is_some_and(|t| t.is_punct('-')) {
+            i + 3
+        } else {
+            i + 2
+        };
+        let after = f.tokens.get(after_idx);
+        let floaty = |t: Option<&Token>, side_after: bool| -> bool {
+            match t.map(|t| &t.kind) {
+                Some(TokenKind::Number(n)) => is_float_literal(n),
+                // f64::INFINITY on the right reads Ident(f64) :: Ident(INFINITY):
+                // the token adjacent to `==` is `f64`; on the left it is the
+                // constant name.
+                Some(TokenKind::Ident(name)) => {
+                    if side_after {
+                        (name == "f64" || name == "f32")
+                            && f.tokens.get(after_idx + 1).is_some_and(|t| t.is_punct(':'))
+                    } else {
+                        matches!(name.as_str(), "INFINITY" | "NEG_INFINITY" | "NAN" | "EPSILON")
+                    }
+                }
+                _ => false,
+            }
+        };
+        if floaty(before, false) || floaty(after, true) {
+            out.push(diag(
+                f,
+                "float-exact-eq",
+                f.tokens[i].line,
+                "compare floats with a tolerance (or is_nan/is_infinite); if the exact guard is intentional, it belongs in the baseline",
+            ));
+        }
+    }
+}
+
+/// **recorded-pairing** — every `fn foo_recorded(...)` in library code
+/// must be paired with a plain `fn foo(...)` in the same file (the PR 2
+/// contract: observability is always optional). Two sound shapes:
+/// either the recorded variant's own body delegates to the plain
+/// primitive (a default trait method watching `current()`), or the file
+/// wires a `NullRecorder` / `movr_obs::null_capture()` through outside
+/// tests — delegation may be transitive (`run_session` →
+/// `run_session_on` → `run_session_on_recorded`), so that check is
+/// file-scoped.
+fn recorded_pairing(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib {
+        return;
+    }
+    // Collect fn definition sites by name.
+    let mut defs: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.is_ident("fn") {
+            if let Some(TokenKind::Ident(name)) = f.tokens.get(i + 1).map(|t| &t.kind) {
+                defs.entry(name.as_str()).or_default().push(i);
+            }
+        }
+    }
+    let mut recorded: Vec<&str> = defs
+        .keys()
+        .copied()
+        .filter(|n| n.ends_with("_recorded"))
+        .collect();
+    recorded.sort_unstable();
+    let has_null_delegation = f
+        .tokens
+        .iter()
+        .enumerate()
+        .any(|(i, t)| {
+            (t.is_ident("NullRecorder") || t.is_ident("null_capture")) && !f.in_cfg_test(i)
+        });
+    for name in recorded {
+        let base = name.trim_end_matches("_recorded");
+        let def_idx = defs[name][0];
+        if f.in_cfg_test(def_idx) {
+            continue;
+        }
+        let line = f.tokens[def_idx].line;
+        if !defs.contains_key(base) {
+            out.push(diag(
+                f,
+                "recorded-pairing",
+                line,
+                format!("`{name}` has no plain `{base}` wrapper in this file; add one delegating with NullRecorder or null_capture()"),
+            ));
+            continue;
+        }
+        // Inverse delegation: any `X_recorded` body that calls plain `X`
+        // is sound by construction (observability layered over the
+        // primitive, e.g. a default trait method).
+        let wraps_plain = defs[name].iter().any(|&di| {
+            fn_body(f, di).is_some_and(|(open, close)| {
+                f.tokens[open..=close].iter().any(|t| t.is_ident(base))
+            })
+        });
+        if !wraps_plain && !has_null_delegation {
+            out.push(diag(
+                f,
+                "recorded-pairing",
+                line,
+                format!("plain `{base}` exists but nothing in this file delegates with NullRecorder or null_capture(); the plain API must be the recorded one observed by nobody"),
+            ));
+        }
+    }
+}
+
+/// **unwrap-in-lib** — `.unwrap()` in library code. Hot paths must
+/// either state the invariant (`expect("…")`) or return a `Result`.
+/// Existing unwraps are pinned in the baseline and can only shrink.
+fn unwrap_in_lib(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.is_ident("unwrap")
+            && i >= 1
+            && f.tokens[i - 1].is_punct('.')
+            && !f.is_test_code(i)
+        {
+            out.push(diag(
+                f,
+                "unwrap-in-lib",
+                t.line,
+                "state the invariant with expect(\"…\") or return a Result; bare unwrap hides which invariant broke",
+            ));
+        }
+    }
+}
+
+/// **raw-numeric-cast** — `as <numeric type>` in library code. `as`
+/// silently truncates, wraps, and loses precision; prefer
+/// `From`/`TryFrom` where lossless. Existing casts are baselined and
+/// ratcheted downward.
+fn raw_numeric_cast(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.kind != FileKind::Lib {
+        return;
+    }
+    const NUMERIC: &[&str] = &[
+        "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+        "isize", "f32", "f64",
+    ];
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.is_ident("as")
+            && matches!(f.tokens.get(i + 1).map(|t| &t.kind),
+                Some(TokenKind::Ident(n)) if NUMERIC.contains(&n.as_str()))
+            && !f.is_test_code(i)
+        {
+            out.push(diag(
+                f,
+                "raw-numeric-cast",
+                t.line,
+                "prefer From/TryFrom (lossless, checked); if the cast is deliberate the ratchet keeps it pinned",
+            ));
+        }
+    }
+}
+
+/// **unjustified-allow** — every `#[allow(...)]` / `#![allow(...)]`
+/// must carry a trailing `// lint: <why>` justification on the line its
+/// attribute closes on. An allow without a reason is a suppressed
+/// warning nobody can audit.
+fn unjustified_allow(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (i, t) in f.tokens.iter().enumerate() {
+        if !t.is_punct('#') {
+            continue;
+        }
+        let mut j = i + 1;
+        if f.tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+            j += 1;
+        }
+        if !f.tokens.get(j).is_some_and(|t| t.is_punct('['))
+            || !f.tokens.get(j + 1).is_some_and(|t| t.is_ident("allow"))
+        {
+            continue;
+        }
+        // The justification must sit on the line where the attribute
+        // closes (attributes in this codebase are single-line).
+        let line = t.line;
+        let justified = f
+            .lines
+            .get(line - 1)
+            .is_some_and(|l| l.contains("// lint:"));
+        if !justified {
+            out.push(diag(
+                f,
+                "unjustified-allow",
+                line,
+                "append `// lint: <why this allow is sound>` or remove the allow",
+            ));
+        }
+    }
+}
+
+/// Body token range `(open_brace, close_brace)` of the fn whose `fn`
+/// keyword is at `def_idx`; `None` for a body-less trait signature
+/// (`fn x(...);`).
+fn fn_body(f: &SourceFile, def_idx: usize) -> Option<(usize, usize)> {
+    for k in def_idx..f.tokens.len() {
+        if f.tokens[k].is_punct(';') {
+            return None;
+        }
+        if f.tokens[k].is_punct('{') {
+            return Some((k, crate::source::match_brace(&f.tokens, k)));
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching `tokens[open]` (which must be `(`).
+fn match_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if let TokenKind::Punct(c) = t.kind {
+            if c == '(' {
+                depth += 1;
+            } else if c == ')' {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// True for the dB conversion factors `10` / `20` in any spelling
+/// (`10`, `10.0`, `10f64`, `20.0_f64`, …).
+fn is_db_factor(text: &str) -> bool {
+    matches!(normalize_number(text).as_str(), "10" | "20")
+}
+
+/// Strips underscores, type suffixes, and a trailing `.0…0` so numeric
+/// spellings compare equal (`10.0_f64` → `10`).
+fn normalize_number(text: &str) -> String {
+    let no_underscore: String = text.chars().filter(|&c| c != '_').collect();
+    let lower = no_underscore.to_ascii_lowercase();
+    let without_suffix = lower
+        .strip_suffix("f64")
+        .or_else(|| lower.strip_suffix("f32"))
+        .unwrap_or(&lower);
+    match without_suffix.split_once('.') {
+        Some((int, frac)) if frac.chars().all(|c| c == '0') => int.to_string(),
+        _ => without_suffix.to_string(),
+    }
+}
+
+/// True if a numeric literal is float-typed: has a fraction, an
+/// exponent, or an `f32`/`f64` suffix.
+fn is_float_literal(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {
+        return false;
+    }
+    lower.contains('.') || lower.contains('e') || lower.ends_with("f32") || lower.ends_with("f64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::parse("crates/demo/src/lib.rs", src)
+    }
+
+    fn rules_hit(src: &str) -> Vec<(&'static str, usize)> {
+        run_all(&[lib(src)])
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(rules_hit("fn f() { x.unwrap_or(0); }").is_empty());
+        assert_eq!(rules_hit("fn f() { x.unwrap(); }"), [("unwrap-in-lib", 1)]);
+    }
+
+    #[test]
+    fn db_factor_spellings() {
+        assert!(is_db_factor("10.0"));
+        assert!(is_db_factor("20"));
+        assert!(is_db_factor("10f64"));
+        assert!(is_db_factor("10.0_f64"));
+        assert!(!is_db_factor("100.0"));
+        assert!(!is_db_factor("2.0"));
+        assert!(!is_db_factor("10.5"));
+    }
+
+    #[test]
+    fn powf_only_flags_db_divisors() {
+        assert_eq!(
+            rules_hit("fn f(x: f64) -> f64 { 10f64.powf(x / 10.0) }"),
+            [("raw-db-arithmetic", 1)]
+        );
+        assert!(rules_hit("fn f(x: f64) -> f64 { 2f64.powf(x / 3.0) }").is_empty());
+        assert!(rules_hit("fn f(x: f64) -> f64 { x.powf(1.0 / 3.0) }").is_empty());
+    }
+
+    #[test]
+    fn log10_needs_the_factor_on_the_same_line() {
+        assert_eq!(
+            rules_hit("fn f(x: f64) -> f64 { 20.0 * x.log10() }"),
+            [("raw-db-arithmetic", 1)]
+        );
+        assert!(rules_hit("fn f(x: f64) -> f64 { x.log10() }").is_empty());
+    }
+
+    #[test]
+    fn float_eq_on_enum_compare_is_fine() {
+        assert!(rules_hit("fn f(a: Mode, b: Mode) -> bool { a == b }").is_empty());
+        assert_eq!(
+            rules_hit("fn f(a: f64) -> bool { a == 0.0 }"),
+            [("float-exact-eq", 1)]
+        );
+        assert_eq!(
+            rules_hit("fn f(a: f64) -> bool { a != f64::INFINITY }"),
+            [("float-exact-eq", 1)]
+        );
+        assert!(rules_hit("fn f(a: f64) -> bool { a <= 1.0 }").is_empty());
+    }
+
+    #[test]
+    fn fork_labels_deduplicate_per_crate() {
+        let a = SourceFile::parse(
+            "crates/demo/src/a.rs",
+            "fn f(r: &mut SimRng) { let x = r.fork(1); let y = r.fork(2); }",
+        );
+        let b = SourceFile::parse(
+            "crates/demo/src/b.rs",
+            "fn g(r: &mut SimRng) { let z = r.fork(1); }",
+        );
+        let other = SourceFile::parse(
+            "crates/other/src/lib.rs",
+            "fn h(r: &mut SimRng) { let w = r.fork(1); }",
+        );
+        let hits: Vec<_> = run_all(&[a, b, other])
+            .into_iter()
+            .map(|d| (d.file, d.line))
+            .collect();
+        assert_eq!(hits, [("crates/demo/src/b.rs".to_string(), 1)]);
+    }
+
+    #[test]
+    fn recorded_without_wrapper_flags() {
+        let src = "pub fn foo_recorded(rec: &mut dyn Recorder) {}";
+        assert_eq!(rules_hit(src), [("recorded-pairing", 1)]);
+        let good = "pub fn foo() { foo_recorded(&mut NullRecorder) }\npub fn foo_recorded(rec: &mut dyn Recorder) {}";
+        assert!(rules_hit(good).is_empty());
+    }
+
+    #[test]
+    fn recorded_default_method_wrapping_plain_is_sound() {
+        // Inverse delegation: the recorded variant calls the plain
+        // primitive — no NullRecorder needed anywhere.
+        let src = "trait T {\n  fn go(&mut self) -> u32;\n  fn go_recorded(&mut self, rec: &mut dyn Recorder) -> u32 { self.go() }\n}";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn recorded_delegation_via_null_capture_is_sound() {
+        // The Capture-era wrapper shape: the plain fn hands the recorded
+        // variant a silent capture instead of a literal NullRecorder.
+        let src = "pub fn sweep() { sweep_recorded(null_capture()) }\npub fn sweep_recorded(cap: Capture<'_>) { let _ = cap; }";
+        assert!(rules_hit(src).is_empty());
+    }
+
+    #[test]
+    fn allow_requires_lint_justification() {
+        assert_eq!(
+            rules_hit("#[allow(dead_code)]\nfn f() {}"),
+            [("unjustified-allow", 1)]
+        );
+        assert!(rules_hit("#[allow(dead_code)] // lint: fixture\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt_where_documented() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); let b = a == 0.0; } }";
+        assert!(rules_hit(src).is_empty());
+        // …but wall clocks are banned even in tests.
+        let clocky = "#[cfg(test)]\nmod tests { use std::time::Instant; }";
+        assert_eq!(rules_hit(clocky), [("no-wall-clock", 2)]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: near-misses that must NOT produce diagnostics — the
+//! analyzer's false-positive guard.
+//! Instant and SystemTime in prose (this comment) are invisible.
+
+pub fn string_mentions_are_fine() -> &'static str {
+    "std::time::Instant inside a string literal"
+}
+
+pub fn unwrap_or_is_not_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn cube_root_is_not_db(x: f64) -> f64 {
+    x.powf(1.0 / 3.0)
+}
+
+pub fn plain_log_is_fine(x: f64) -> f64 {
+    x.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_compare_exactly() {
+        let v: Option<f64> = Some(0.0);
+        assert!(v.unwrap() == 0.0);
+        let _narrow = 3.5_f64 as u32;
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture root package: a correctly paired recorded function — the
+//! plain wrapper delegates with NullRecorder, so recorded-pairing
+//! stays silent.
+
+pub fn step() {
+    step_recorded(&mut NullRecorder)
+}
+
+pub fn step_recorded(rec: &mut dyn Recorder) {
+    let _ = rec;
+}

@@ -1,0 +1,11 @@
+//! Fixture test file: unwraps and exact float compares are allowed in
+//! test code, but wall clocks are banned everywhere — a timing
+//! assertion against the host clock makes the test nondeterministic.
+
+pub fn helper(v: Option<f64>) -> bool {
+    v.unwrap() == 0.25
+}
+
+pub fn timed() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

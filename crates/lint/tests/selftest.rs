@@ -1,0 +1,99 @@
+//! Analyzer self-test: runs the full rule catalogue against the seeded
+//! fixture workspace and asserts the *exact* (rule, file, line) of
+//! every diagnostic — any drift in the lexer or a rule shows up as a
+//! precise diff here. Also exercises the ratchet round-trip on the
+//! fixture findings.
+
+use movr_lint::{analyze, apply_baseline, Baseline, RULES};
+use std::path::{Path, PathBuf};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// `(rule, file, line)` for every expected fixture diagnostic, in the
+/// engine's reporting order (file, then line, then rule).
+const EXPECTED: &[(&str, &str, usize)] = &[
+    ("no-wall-clock", "crates/alpha/src/lib.rs", 4),
+    ("no-wall-clock", "crates/alpha/src/lib.rs", 6),
+    ("no-wall-clock", "crates/alpha/src/lib.rs", 7),
+    ("no-external-rng", "crates/alpha/src/lib.rs", 11),
+    ("no-external-rng", "crates/alpha/src/lib.rs", 11),
+    ("rng-fork-label-unique", "crates/alpha/src/lib.rs", 17),
+    ("raw-db-arithmetic", "crates/alpha/src/lib.rs", 22),
+    ("raw-db-arithmetic", "crates/alpha/src/lib.rs", 26),
+    ("float-exact-eq", "crates/alpha/src/lib.rs", 30),
+    ("recorded-pairing", "crates/alpha/src/lib.rs", 33),
+    ("unwrap-in-lib", "crates/alpha/src/lib.rs", 36),
+    ("raw-numeric-cast", "crates/alpha/src/lib.rs", 40),
+    ("unjustified-allow", "crates/alpha/src/lib.rs", 43),
+    ("no-wall-clock", "tests/integration.rs", 9),
+    ("no-wall-clock", "tests/integration.rs", 10),
+];
+
+#[test]
+fn fixture_hits_are_exact() {
+    let report = analyze(&fixture_root()).expect("fixture workspace analyzes");
+    let hits: Vec<(&str, &str, usize)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    assert_eq!(hits, EXPECTED, "full diagnostic list drifted");
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture() {
+    let report = analyze(&fixture_root()).expect("fixture workspace analyzes");
+    for rule in RULES {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == *rule),
+            "rule `{rule}` produced no fixture diagnostic — catalogue untested"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_carry_snippets_and_hints() {
+    let report = analyze(&fixture_root()).expect("fixture workspace analyzes");
+    for d in &report.diagnostics {
+        assert!(!d.snippet.is_empty(), "{}:{} has no snippet", d.file, d.line);
+        assert!(!d.hint.is_empty(), "{}:{} has no hint", d.file, d.line);
+    }
+    let unwrap = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "unwrap-in-lib")
+        .expect("unwrap hit");
+    assert_eq!(unwrap.snippet, "v.unwrap()");
+}
+
+#[test]
+fn ratchet_roundtrip_on_fixture() {
+    let report = analyze(&fixture_root()).expect("fixture workspace analyzes");
+    let total = report.diagnostics.len();
+
+    // Pinning exactly the current findings makes the gate clean.
+    let pinned = Baseline::parse(&Baseline::render(&report.counts())).expect("baseline");
+    let clean = apply_baseline(analyze(&fixture_root()).expect("re-analyze"), &pinned);
+    assert!(clean.is_clean(), "{}", clean.render_human());
+    assert_eq!(clean.baselined, total);
+
+    // An empty baseline reports everything as new.
+    let raw = apply_baseline(analyze(&fixture_root()).expect("re-analyze"), &Baseline::empty());
+    assert_eq!(raw.new.len(), total);
+    assert!(!raw.is_clean());
+}
+
+#[test]
+fn json_report_mentions_every_rule_hit() {
+    let report = apply_baseline(
+        analyze(&fixture_root()).expect("fixture workspace analyzes"),
+        &Baseline::empty(),
+    );
+    let json = report.render_json();
+    for rule in RULES {
+        assert!(json.contains(rule), "JSON output missing rule `{rule}`");
+    }
+    assert!(json.contains("\"clean\": false"));
+}

@@ -120,6 +120,58 @@ mod tests {
     }
 
     #[test]
+    fn nan_propagates_through_every_conversion() {
+        // NaN in, NaN out — never a silent finite answer. (`ratio <= 0.0`
+        // is false for NaN, so the guarded paths still reach log10.)
+        assert!(db_to_linear(f64::NAN).is_nan());
+        assert!(linear_to_db(f64::NAN).is_nan());
+        assert!(db_to_amplitude(f64::NAN).is_nan());
+        assert!(amplitude_to_db(f64::NAN).is_nan());
+        assert!(dbm_to_watts(f64::NAN).is_nan());
+        assert!(watts_to_dbm(f64::NAN).is_nan());
+        assert!(sum_dbm(&[0.0, f64::NAN]).is_nan());
+        assert!(thermal_noise_dbm(f64::NAN, 290.0).is_nan());
+    }
+
+    #[test]
+    fn empty_sum_is_silence() {
+        // No paths at all means no power: exactly -inf dBm, not a panic
+        // and not some sentinel floor.
+        assert_eq!(sum_dbm(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn neg_infinity_round_trips_as_absence() {
+        // -inf dBm (no signal) must survive every round trip: to watts it
+        // is exactly zero, and zero watts maps back to -inf dBm.
+        assert_eq!(dbm_to_watts(f64::NEG_INFINITY), 0.0);
+        assert_eq!(watts_to_dbm(0.0), f64::NEG_INFINITY);
+        assert_eq!(watts_to_dbm(dbm_to_watts(f64::NEG_INFINITY)), f64::NEG_INFINITY);
+        assert_eq!(db_to_linear(f64::NEG_INFINITY), 0.0);
+        assert_eq!(db_to_amplitude(f64::NEG_INFINITY), 0.0);
+        // Adding silence to a sum changes nothing.
+        assert_eq!(sum_dbm(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert!(close(sum_dbm(&[-10.0, f64::NEG_INFINITY]), -10.0, 1e-9));
+        // +inf dB saturates rather than wrapping or NaN-ing.
+        assert_eq!(db_to_linear(f64::INFINITY), f64::INFINITY);
+        assert_eq!(linear_to_db(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn amplitude_and_power_factors_cross_check() {
+        // The 10-vs-20 audit in one assertion: an amplitude ratio squared
+        // is a power ratio, so db_to_amplitude(x)² == db_to_linear(x) and
+        // amplitude_to_db(r) == linear_to_db(r²) for every x.
+        for x in [-60.0, -6.0, -1.0, 0.0, 3.0, 6.0, 20.0, 45.0] {
+            let a = db_to_amplitude(x);
+            assert!(close(a * a, db_to_linear(x), 1e-9 * db_to_linear(x).max(1.0)));
+        }
+        for r in [1e-4, 0.1, 0.5, 1.0, 2.0, 10.0, 316.0] {
+            assert!(close(amplitude_to_db(r), linear_to_db(r * r), 1e-9));
+        }
+    }
+
+    #[test]
     fn thermal_noise_matches_174_rule() {
         // -174 dBm/Hz at 290 K; over 2.16 GHz (one 802.11ad channel)
         // the floor is about -80.6 dBm.

@@ -88,7 +88,9 @@ impl PlayerState {
 /// third-party obstacles (other people, repositioned furniture).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorldState {
+    /// The tracked player (headset pose plus own-body obstacles).
     pub player: PlayerState,
+    /// Third-party obstacles not attached to the player.
     pub others: Vec<Obstacle>,
 }
 

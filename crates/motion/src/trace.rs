@@ -22,7 +22,9 @@ pub trait MotionTrace {
 /// A frozen scene: nothing moves.
 #[derive(Debug, Clone)]
 pub struct StaticScene {
+    /// The frozen world.
     pub world: WorldState,
+    /// How long the scene lasts, seconds.
     pub duration_s: f64,
 }
 
@@ -49,6 +51,7 @@ impl MotionTrace for StaticScene {
 /// head" scenario. Typical fast human head rotation is ~200–300°/s.
 #[derive(Debug, Clone)]
 pub struct HeadTurn {
+    /// Player state before the turn starts.
     pub base: PlayerState,
     /// When the turn starts, seconds.
     pub start_s: f64,
@@ -77,6 +80,7 @@ impl MotionTrace for HeadTurn {
 /// §3's "user raised her hand" scenario.
 #[derive(Debug, Clone)]
 pub struct HandRaise {
+    /// Player state throughout (only the hand flag changes).
     pub base: PlayerState,
     /// Hand goes up at this time, seconds.
     pub raise_at_s: f64,
@@ -101,6 +105,7 @@ impl MotionTrace for HandRaise {
 /// "another person walks between headset and transmitter" scenario.
 #[derive(Debug, Clone)]
 pub struct WalkerCrossing {
+    /// The (stationary) tracked player.
     pub player: PlayerState,
     /// Walker start point, metres.
     pub from: Vec2,

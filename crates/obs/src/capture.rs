@@ -1,0 +1,85 @@
+//! [`Capture`] — the recording context instrumented hot paths take.
+//!
+//! Every `_recorded` function needs the same two things: the sim-time
+//! instant its work begins (so emitted events land on the shared
+//! timeline) and the [`Recorder`] receiving them. Bundling the pair into
+//! one argument keeps instrumented signatures short and makes the
+//! convention explicit: one capture in, events stamped from
+//! `cap.start` onward come out.
+
+use crate::recorder::{NullRecorder, Recorder};
+use movr_sim::SimTime;
+
+/// Where on the sim-time axis an instrumented call starts, plus the
+/// recorder receiving its events and spans.
+///
+/// Borrows the recorder mutably, so a `Capture` is naturally affine —
+/// pass it by value to the one call it describes. Multi-stage callers
+/// (a coarse sweep feeding a fine sweep) use [`Capture::stage`] to
+/// lend the same recorder out again at a later start time.
+pub struct Capture<'a> {
+    /// Sim-time instant the instrumented work begins.
+    pub start: SimTime,
+    /// The sink receiving events and spans.
+    pub rec: &'a mut dyn Recorder,
+}
+
+impl<'a> Capture<'a> {
+    /// A capture starting at `start`, recording into `rec`.
+    pub fn new(start: SimTime, rec: &'a mut dyn Recorder) -> Self {
+        Capture { start, rec }
+    }
+
+    /// A capture at [`SimTime::ZERO`] recording into `rec`.
+    pub fn from_zero(rec: &'a mut dyn Recorder) -> Self {
+        Capture::new(SimTime::ZERO, rec)
+    }
+
+    /// Reborrows this capture for one stage of a larger operation,
+    /// starting at `start`. The returned capture holds the same
+    /// recorder; `self` is usable again once it is dropped.
+    pub fn stage(&mut self, start: SimTime) -> Capture<'_> {
+        Capture {
+            start,
+            rec: &mut *self.rec,
+        }
+    }
+}
+
+/// The silent capture: starts at [`SimTime::ZERO`] and drops every
+/// event. What plain (un-instrumented) wrappers delegate with.
+pub fn null_capture() -> Capture<'static> {
+    // A &'static mut to a zero-sized recorder: NullRecorder is stateless,
+    // so leaking one box per call would be correct but wasteful; instead
+    // hand out disjoint leases of a shared zero-sized value via Box::leak.
+    Capture::new(SimTime::ZERO, Box::leak(Box::new(NullRecorder)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, MemoryRecorder};
+
+    #[test]
+    fn stage_shares_the_recorder() {
+        let mut rec = MemoryRecorder::new();
+        let mut cap = Capture::new(SimTime::from_millis(5), &mut rec);
+        {
+            let s1 = cap.stage(SimTime::from_millis(5));
+            s1.rec.record(Event::new(s1.start, "first"));
+        }
+        {
+            let s2 = cap.stage(SimTime::from_millis(9));
+            s2.rec.record(Event::new(s2.start, "second"));
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.events()[1].t, SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn null_capture_is_disabled_and_at_zero() {
+        let cap = null_capture();
+        assert_eq!(cap.start, SimTime::ZERO);
+        assert!(!cap.rec.enabled());
+    }
+}

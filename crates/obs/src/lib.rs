@@ -50,10 +50,12 @@
 //! assert_eq!(metrics.snapshot().counter("frames_total"), Some(1));
 //! ```
 
+mod capture;
 mod event;
 mod metrics;
 mod recorder;
 
+pub use capture::{null_capture, Capture};
 pub use event::{Event, Value};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlWriter, MemoryRecorder, NullRecorder, Recorder, SpanId};

@@ -16,7 +16,10 @@ pub enum Taper {
     /// Raised cosine on a pedestal `p ∈ [0,1]`: weight =
     /// `p + (1−p)·cos²(π·(i − c)/n)` with `c` the aperture centre.
     /// `p = 1` degenerates to uniform; `p ≈ 0.3` gives ~−25 dB sidelobes.
-    RaisedCosine { pedestal: f64 },
+    RaisedCosine {
+        /// Pedestal height `p ∈ [0,1]`.
+        pedestal: f64,
+    },
     /// Binomial weights: no sidelobes at all, at a heavy beamwidth and
     /// gain cost. Mostly a reference point.
     Binomial,

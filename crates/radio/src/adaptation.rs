@@ -100,8 +100,11 @@ impl RateAdapter for SnrThreshold {
 #[derive(Debug, Clone)]
 pub struct Hysteresis {
     table: RateTable,
+    /// Extra SNR margin required before upgrading, dB.
     pub up_margin_db: f64,
+    /// Consecutive qualifying reports required before upgrading.
     pub up_count: usize,
+    /// Backoff subtracted from the reported SNR, dB.
     pub backoff_db: f64,
     current: Option<&'static McsEntry>,
     up_streak: usize,

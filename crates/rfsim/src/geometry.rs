@@ -14,7 +14,9 @@ pub const GEOM_EPS: f64 = 1e-9;
 /// A directed line segment between two points.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
+    /// Start point.
     pub a: Vec2,
+    /// End point.
     pub b: Vec2,
 }
 
@@ -81,7 +83,9 @@ impl Segment {
 /// A wall: a segment, its material, and the inward normal of the room.
 #[derive(Debug, Clone, Copy)]
 pub struct Wall {
+    /// The wall span in room coordinates.
     pub segment: Segment,
+    /// What the wall is made of (sets reflection/penetration loss).
     pub material: Material,
     /// Unit normal pointing into the room (the side rays arrive from).
     pub normal: Vec2,
@@ -115,7 +119,9 @@ impl Wall {
 /// paths that cross it (by its material's penetration loss).
 #[derive(Debug, Clone, Copy)]
 pub struct Surface {
+    /// The panel span in room coordinates.
     pub segment: Segment,
+    /// What the panel is made of (sets reflection/penetration loss).
     pub material: Material,
 }
 

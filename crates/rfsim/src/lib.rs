@@ -59,7 +59,7 @@ pub fn wavelength_m(freq_hz: f64) -> f64 {
 pub fn fspl_db(d_m: f64, freq_hz: f64) -> f64 {
     let lambda = wavelength_m(freq_hz);
     let d = d_m.max(lambda);
-    20.0 * (4.0 * std::f64::consts::PI * d / lambda).log10()
+    movr_math::db::amplitude_to_db(4.0 * std::f64::consts::PI * d / lambda)
 }
 
 #[cfg(test)]

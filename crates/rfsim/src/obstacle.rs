@@ -65,7 +65,9 @@ impl BodyPart {
 /// A circular obstacle at a position in the room.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Obstacle {
+    /// What the obstacle is (sets radius and shadow loss).
     pub kind: BodyPart,
+    /// Centre position in room coordinates, metres.
     pub center: Vec2,
 }
 

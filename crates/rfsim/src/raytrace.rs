@@ -25,12 +25,16 @@ pub enum PathKind {
     /// Direct line of sight.
     LineOfSight,
     /// Specular reflection path with the given bounce count (1 or 2).
-    Reflected { order: usize },
+    Reflected {
+        /// Number of specular bounces along the path.
+        order: usize,
+    },
 }
 
 /// One propagation path between a transmitter and a receiver.
 #[derive(Debug, Clone)]
 pub struct Path {
+    /// Whether this is the LoS path or a reflection (and its order).
     pub kind: PathKind,
     /// Geometry: `[tx, bounce…, rx]`.
     pub vertices: Vec<Vec2>,
@@ -700,7 +704,7 @@ mod tests {
         for p in paths {
             let segs: Vec<_> = p.segments().collect();
             assert_eq!(segs.len(), p.vertices.len() - 1);
-            let sum: f64 = segs.iter().map(|s| s.length()).sum();
+            let sum: f64 = segs.iter().map(Segment::length).sum();
             assert!((sum - p.length_m).abs() < 1e-9);
         }
     }

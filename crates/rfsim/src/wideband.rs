@@ -76,10 +76,10 @@ pub fn wideband_snr_db(
         / n_tones as f64;
     let effective = linear_to_db(2f64.powf(mean_capacity) - 1.0);
 
-    let min = tone_snr_db.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min = tone_snr_db.iter().copied().fold(f64::INFINITY, f64::min);
     let max = tone_snr_db
         .iter()
-        .cloned()
+        .copied()
         .fold(f64::NEG_INFINITY, f64::max);
     WidebandBudget {
         tone_snr_db,

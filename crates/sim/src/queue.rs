@@ -116,7 +116,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event, advancing the clock to its timestamp.
     /// (Deliberately named like `Iterator::next`; the queue is the
     /// simulation's event source and this is its idiomatic verb.)
-    #[allow(clippy::should_implement_trait)]
+    #[allow(clippy::should_implement_trait)] // lint: Iterator would lose the (SimTime, E) clock-advance contract
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let s = self.heap.pop()?;
         debug_assert!(s.at >= self.now, "heap produced a past event");

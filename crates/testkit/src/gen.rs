@@ -290,7 +290,7 @@ impl<G: Gen> Gen for VecOf<G> {
             }
             out.push(value[..len - 1].to_vec());
             // Dropping a prefix can expose failures the suffix causes.
-            if len - 1 >= self.min_len && len > 1 {
+            if len > self.min_len && len > 1 {
                 out.push(value[1..].to_vec());
             }
         }
@@ -409,7 +409,7 @@ mod tests {
         }
         let v = g.generate(&mut rng);
         for cand in g.shrink(&v) {
-            assert!(cand.len() >= 1);
+            assert!(!cand.is_empty());
         }
         if v.len() > 1 {
             assert!(g.shrink(&v).iter().any(|c| c.len() < v.len()));

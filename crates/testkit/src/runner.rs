@@ -176,7 +176,7 @@ where
     G: Gen,
     F: Fn(&G::Value) -> PropResult,
 {
-    for_all_with(name, &Config::default(), gen, prop)
+    for_all_with(name, &Config::default(), gen, prop);
 }
 
 /// [`for_all`] with an explicit [`Config`].
@@ -207,7 +207,8 @@ where
 #[macro_export]
 macro_rules! prop_assert {
     ($cond:expr) => {
-        if !($cond) {
+        if $cond {
+        } else {
             return ::core::result::Result::Err($crate::PropError::failed(concat!(
                 "assertion failed: ",
                 stringify!($cond)
@@ -215,7 +216,8 @@ macro_rules! prop_assert {
         }
     };
     ($cond:expr, $($fmt:tt)+) => {
-        if !($cond) {
+        if $cond {
+        } else {
             return ::core::result::Result::Err($crate::PropError::failed(format!(
                 concat!("assertion failed: ", stringify!($cond), ": {}"),
                 format_args!($($fmt)+)
@@ -304,7 +306,7 @@ macro_rules! property {
             };
             let gen = ($($gen,)+);
             $crate::for_all_with(stringify!($name), &cfg, &gen, |__case| {
-                #[allow(unused_mut)]
+                #[allow(unused_mut)] // lint: macro binds every case arg mut; some bodies never mutate
                 let ($(mut $arg,)+) = ::core::clone::Clone::clone(__case);
                 $body
                 ::core::result::Result::Ok(())

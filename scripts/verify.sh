@@ -11,6 +11,12 @@ cargo build --release --offline
 echo "==> examples build"
 cargo build --release --offline --examples
 
+echo "==> movr-lint: analyzer self-test (fixture rule/line hits)"
+cargo test -p movr-lint -q --offline
+
+echo "==> movr-lint: workspace clean against lint-baseline.toml"
+cargo run -q -p movr-lint --offline -- --root .
+
 echo "==> tier-1: root package tests"
 cargo test -q --offline
 

@@ -1,0 +1,24 @@
+//! The movr-lint gate as a tier-1 test: `cargo test` fails the moment
+//! the workspace picks up a diagnostic that is not pinned in
+//! `lint-baseline.toml`, or the moment a pinned one is fixed without
+//! shrinking the baseline (stale entry). See DESIGN.md § "Static
+//! analysis" for the rule catalogue and ratchet semantics.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean_against_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = movr_lint::check_workspace(root).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "movr-lint found unbaselined diagnostics or stale baseline entries:\n{}",
+        report.render_human()
+    );
+    // The gate is only meaningful if it actually scanned the tree.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); walker broke?",
+        report.files_scanned
+    );
+}
