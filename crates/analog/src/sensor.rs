@@ -44,7 +44,7 @@ impl CurrentSensor {
 
     /// The smallest current step the ADC resolves, amperes.
     pub fn lsb_a(&self) -> f64 {
-        self.full_scale_a / ((1u64 << self.adc_bits) - 1) as f64
+        self.full_scale_a / movr_math::convert::u64_to_f64((1u64 << self.adc_bits) - 1)
     }
 
     /// Measures a true current: adds noise, clamps to full scale,

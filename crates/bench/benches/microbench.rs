@@ -157,9 +157,28 @@ fn bench_obs_overhead(opts: &BenchOptions) -> Vec<BenchReport> {
     ]
 }
 
+fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
+    // Cost of the static-analysis gate itself over the real workspace:
+    // lexing alone vs the full semantic pipeline (parse + unit-flow +
+    // RNG dataflow + layering). The gap between the two is the price of
+    // the v2 semantic analyses.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    vec![
+        bench_fn("lint_workspace_lex_only", opts, || {
+            movr_lint::lex_workspace(&root).expect("workspace readable")
+        }),
+        bench_fn("lint_workspace_semantic", opts, || {
+            movr_lint::analyze(&root)
+                .expect("workspace readable")
+                .diagnostics
+                .len()
+        }),
+    ]
+}
+
 fn main() {
     let opts = BenchOptions::from_args(std::env::args().skip(1));
-    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 8] = [
+    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 9] = [
         bench_link_budget,
         bench_relay_budget,
         bench_gain_control,
@@ -168,6 +187,7 @@ fn main() {
         bench_alignment_sweep,
         bench_session_second,
         bench_obs_overhead,
+        bench_lint_workspace,
     ];
     for suite in suites {
         for report in suite(&opts) {

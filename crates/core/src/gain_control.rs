@@ -103,7 +103,7 @@ pub fn run_gain_control_recorded(
         for _ in 0..config.reads_per_step {
             acc += r.measure_supply_current_a();
         }
-        acc / config.reads_per_step as f64
+        acc / movr_math::convert::usize_to_f64(config.reads_per_step)
     };
 
     let span = if rec.enabled() {

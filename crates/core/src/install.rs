@@ -154,7 +154,7 @@ pub fn install_reflector(
     }
     let gain = run_gain_control(reflector, &config.gain_control);
     // The gain loop runs on the Arduino: ~30 µs of ADC work per step.
-    now += SimTime::from_nanos(gain.trace.len() as u64 * 30_000);
+    now += SimTime::from_nanos(movr_math::convert::usize_to_u64(gain.trace.len()) * 30_000);
     if let Some(at) = command(
         link,
         now,

@@ -258,7 +258,7 @@ impl MovrSystem {
     /// The cost of a no-tracking windowed re-sweep of one reflector's
     /// transmit beam against the headset's receive beam.
     pub fn sweep_realignment_cost(&self) -> SimTime {
-        let n = (2.0 * self.config.realign_window_deg + 1.0) as u64;
+        let n = movr_math::convert::f64_to_u64(2.0 * self.config.realign_window_deg + 1.0);
         SimTime::from_nanos(
             n * self.config.beam_command_latency.as_nanos()
                 + n * n * self.config.sweep_dwell.as_nanos(),

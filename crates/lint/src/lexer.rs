@@ -257,8 +257,15 @@ impl Lexer<'_> {
         }
         let word = &self.b[start..self.i];
         let next = self.peek(0);
-        let raw_string = (word == b"r" || word == b"br")
-            && matches!(next, Some(b'"') | Some(b'#'));
+        // A raw string needs a `"` after the hashes — `r#ident` (raw
+        // identifier) also starts `r#` and must not take this path.
+        let raw_string = (word == b"r" || word == b"br") && {
+            let mut k = 0;
+            while self.peek(k) == Some(b'#') {
+                k += 1;
+            }
+            self.peek(k) == Some(b'"')
+        };
         if raw_string {
             self.i = start;
             self.lex_raw_string();
@@ -403,6 +410,56 @@ mod tests {
         assert_eq!(toks[0].line, 1);
         assert_eq!(toks[1].line, 2); // string starts on line 2
         assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_on_matching_depth() {
+        // A one-hash terminator inside a two-hash raw string must NOT
+        // close it; `inside` stays literal content, `after` is code.
+        let src = "let x = r##\"quote \"# inside\"##; after";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("inside")));
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+
+        // Byte raw strings take the same path, and multi-line raw
+        // strings keep the line counter honest for trailing tokens.
+        let toks = lex("br#\"a\nb\"# tail");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+        let tail = toks.iter().find(|t| t.is_ident("tail")).unwrap();
+        assert_eq!(tail.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_balance_and_count_lines() {
+        // The inner `*/` closes only the inner comment; `hidden` is
+        // still commented out and `visible` follows on line 3.
+        let src = "/* outer /* inner\n*/ hidden */\nvisible";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("hidden")));
+        let vis = toks.iter().find(|t| t.is_ident("visible")).unwrap();
+        assert_eq!(vis.line, 3);
+        // Unterminated nesting degrades to "rest of file is comment".
+        assert!(lex("/* open /* never closed */").is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        // `r#type` shares a prefix with `r#"…"#` but is an identifier.
+        let toks = lex("let r#type = r#\"raw\"#; end");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().any(|t| t.is_ident("end")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn lifetime_tokens_cover_static_and_byte_chars() {
+        // `'static` and `'_` are lifetimes; `b'x'` is a (byte) char
+        // literal, not a lifetime starting at `x`.
+        let toks = lex("fn g(s: &'static str, t: &'_ u8) -> u8 { b'x' }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
     }
 
     #[test]

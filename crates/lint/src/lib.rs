@@ -16,13 +16,20 @@
 //! * a `verify.sh` stage that fails CI on any non-baseline diagnostic.
 
 mod baseline;
+mod layers;
 mod lexer;
+mod parser;
+mod rng_flow;
 mod rules;
+pub mod sarif;
 mod source;
+mod units;
 
 pub use baseline::Baseline;
+pub use layers::{LayerSpec, LAYERS_FILE};
 pub use rules::{Diagnostic, RULES};
 pub use source::SourceFile;
+pub use units::UnitClass;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -162,8 +169,8 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -198,28 +205,97 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lexes and classifies every workspace source file under `root`.
+/// Lexes and classifies every workspace source file under `root`,
+/// using one worker thread.
 pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
-    let mut files = Vec::new();
-    for path in collect_files(root)? {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
+    load_workspace_threaded(root, 1)
+}
+
+/// Lexes and classifies every workspace source file under `root` with
+/// `threads` workers. Output order (and therefore every downstream
+/// report) is byte-identical for any thread count: the sorted path list
+/// is split into contiguous index chunks, one per worker, and the
+/// chunks are reassembled in order.
+pub fn load_workspace_threaded(root: &Path, threads: usize) -> io::Result<Vec<SourceFile>> {
+    let paths = collect_files(root)?;
+    let rel_of = |path: &Path| {
+        path.strip_prefix(root)
+            .unwrap_or(path)
             .components()
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
-            .join("/");
-        let src = fs::read_to_string(&path)?;
-        files.push(SourceFile::parse(&rel, &src));
+            .join("/")
+    };
+    let threads = threads.max(1).min(paths.len().max(1));
+    if threads == 1 {
+        let mut files = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let src = fs::read_to_string(path)?;
+            files.push(SourceFile::parse(&rel_of(path), &src));
+        }
+        return Ok(files);
+    }
+    let chunk = paths.len().div_ceil(threads);
+    let mut results: Vec<io::Result<Vec<SourceFile>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = paths
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(|| {
+                    slice
+                        .iter()
+                        .map(|path| {
+                            let src = fs::read_to_string(path)?;
+                            Ok(SourceFile::parse(&rel_of(path), &src))
+                        })
+                        .collect::<io::Result<Vec<SourceFile>>>()
+                })
+            })
+            .collect();
+        // Joined in spawn order, so chunk 0's files come first: the
+        // final Vec is exactly the single-threaded ordering.
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("lint worker thread panicked"))
+            .collect();
+    });
+    let mut files = Vec::with_capacity(paths.len());
+    for r in results {
+        files.extend(r?);
     }
     Ok(files)
+}
+
+/// Loads and validates `lint-layers.toml` from `root`. A missing file
+/// is `Ok(None)` — the layering analysis is simply skipped, so
+/// `analyze` keeps working on roots without a spec (e.g. ad-hoc runs on
+/// a subdirectory). A present-but-invalid file is an error: a typo in
+/// the spec must not silently disable the analysis.
+pub fn load_layer_spec(root: &Path) -> io::Result<Option<LayerSpec>> {
+    let path = root.join(LAYERS_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = fs::read_to_string(&path)?;
+    LayerSpec::parse(&text)
+        .map(Some)
+        .map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+        })
 }
 
 /// Runs every rule over the workspace at `root` with no baseline
 /// applied: the raw diagnostic list.
 pub fn analyze(root: &Path) -> io::Result<Report> {
-    let files = load_workspace(root)?;
-    let diagnostics = rules::run_all(&files);
+    analyze_threaded(root, 1)
+}
+
+/// [`analyze`] with a worker-thread count for the parse stage. The
+/// report is byte-identical for any `threads` value.
+pub fn analyze_threaded(root: &Path, threads: usize) -> io::Result<Report> {
+    let files = load_workspace_threaded(root, threads)?;
+    let layers = load_layer_spec(root)?;
+    let diagnostics = rules::run_all(&files, layers.as_ref());
     Ok(Report {
         new: diagnostics.clone(),
         diagnostics,
@@ -227,6 +303,18 @@ pub fn analyze(root: &Path) -> io::Result<Report> {
         baselined: 0,
         files_scanned: files.len(),
     })
+}
+
+/// Lexes every workspace file under `root` without parsing or running
+/// any analysis; returns the total token count. This is the bench
+/// harness's lexer-only datum (lexer cost vs full semantic `analyze`).
+pub fn lex_workspace(root: &Path) -> io::Result<usize> {
+    let mut tokens = 0usize;
+    for path in collect_files(root)? {
+        let src = fs::read_to_string(&path)?;
+        tokens += lexer::lex(&src).len();
+    }
+    Ok(tokens)
 }
 
 /// Applies the ratchet: groups `diagnostics` by `(file, rule)` and
@@ -265,7 +353,13 @@ pub fn apply_baseline(mut report: Report, baseline: &Baseline) -> Report {
 /// (missing file = empty baseline), and apply the ratchet. This is what
 /// the root package's `tests/lint_gate.rs` and `verify.sh` call.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
-    let report = analyze(root)?;
+    check_workspace_threaded(root, 1)
+}
+
+/// [`check_workspace`] with a worker-thread count for the parse stage.
+/// The report is byte-identical for any `threads` value.
+pub fn check_workspace_threaded(root: &Path, threads: usize) -> io::Result<Report> {
+    let report = analyze_threaded(root, threads)?;
     let baseline_path = root.join(BASELINE_FILE);
     let baseline = if baseline_path.exists() {
         let text = fs::read_to_string(&baseline_path)?;

@@ -1,13 +1,17 @@
 //! The `movr-lint` CLI.
 //!
 //! ```text
-//! movr-lint [--root DIR] [--json] [--write-baseline] [--no-baseline]
+//! movr-lint [--root DIR] [--json] [--sarif PATH] [--check-sarif PATH]
+//!           [--threads N] [--write-baseline] [--no-baseline]
 //! ```
 //!
 //! Exit codes: 0 = clean (exactly at the pinned baseline), 1 = new
-//! violations or stale baseline entries, 2 = usage or I/O error.
+//! violations or stale baseline entries, 2 = usage or I/O error (or a
+//! SARIF document failing validation under `--check-sarif`).
 
-use movr_lint::{analyze, apply_baseline, check_workspace, Baseline, BASELINE_FILE};
+use movr_lint::{
+    analyze_threaded, apply_baseline, check_workspace_threaded, sarif, Baseline, BASELINE_FILE,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,6 +20,9 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut write_baseline = false;
     let mut no_baseline = false;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut check_sarif: Option<PathBuf> = None;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,14 +31,30 @@ fn main() -> ExitCode {
                 None => return usage("--root needs a directory"),
             },
             "--json" => json = true,
+            "--sarif" => match args.next() {
+                Some(path) => sarif_out = Some(PathBuf::from(path)),
+                None => return usage("--sarif needs an output path"),
+            },
+            "--check-sarif" => match args.next() {
+                Some(path) => check_sarif = Some(PathBuf::from(path)),
+                None => return usage("--check-sarif needs a file path"),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => return usage("--threads needs a positive integer"),
+            },
             "--write-baseline" => write_baseline = true,
             "--no-baseline" => no_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "movr-lint: determinism & unit-safety analyzer for the MoVR workspace\n\n\
-                     USAGE: movr-lint [--root DIR] [--json] [--write-baseline] [--no-baseline]\n\n\
+                     USAGE: movr-lint [--root DIR] [--json] [--sarif PATH] [--check-sarif PATH]\n\
+                            [--threads N] [--write-baseline] [--no-baseline]\n\n\
                      --root DIR         workspace root (default: current directory)\n\
                      --json             machine-readable report on stdout\n\
+                     --sarif PATH       also write the report as SARIF 2.1.0 (self-validated)\n\
+                     --check-sarif PATH validate an existing SARIF file and exit (0 ok, 2 invalid)\n\
+                     --threads N        parse with N worker threads (output is identical for any N)\n\
                      --write-baseline   regenerate {BASELINE_FILE} from current findings\n\
                      --no-baseline      report every diagnostic, ignoring the baseline"
                 );
@@ -40,6 +63,27 @@ fn main() -> ExitCode {
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+
+    // Validation mode needs no workspace at all.
+    if let Some(path) = check_sarif {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {}: {e}", path.display())),
+        };
+        return match sarif::validate(&text) {
+            Ok(()) => {
+                println!("movr-lint: {} is structurally valid SARIF 2.1.0", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(errs) => {
+                for e in &errs {
+                    eprintln!("movr-lint: {}: {e}", path.display());
+                }
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if !root.join("Cargo.toml").exists() {
         return usage(&format!(
             "{} does not look like a workspace root (no Cargo.toml)",
@@ -48,7 +92,7 @@ fn main() -> ExitCode {
     }
 
     if write_baseline {
-        let report = match analyze(&root) {
+        let report = match analyze_threaded(&root, threads) {
             Ok(r) => r,
             Err(e) => return fail(&format!("analysis failed: {e}")),
         };
@@ -67,14 +111,28 @@ fn main() -> ExitCode {
     }
 
     let report = if no_baseline {
-        analyze(&root).map(|r| apply_baseline(r, &Baseline::empty()))
+        analyze_threaded(&root, threads).map(|r| apply_baseline(r, &Baseline::empty()))
     } else {
-        check_workspace(&root)
+        check_workspace_threaded(&root, threads)
     };
     let report = match report {
         Ok(r) => r,
         Err(e) => return fail(&format!("analysis failed: {e}")),
     };
+    if let Some(path) = sarif_out {
+        let text = sarif::render(&report);
+        if let Err(errs) = sarif::validate(&text) {
+            // Self-check: a renderer bug must fail loudly, not emit a
+            // log the CI annotator silently drops.
+            for e in &errs {
+                eprintln!("movr-lint: generated SARIF invalid: {e}");
+            }
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&path, &text) {
+            return fail(&format!("writing {}: {e}", path.display()));
+        }
+    }
     if json {
         println!("{}", report.render_json());
     } else {

@@ -1,0 +1,626 @@
+//! Item-level parser: just enough structure on top of the token stream
+//! for the semantic analyses. It recognises `fn` signatures (names,
+//! params with their flattened types, return type, body token range),
+//! `use` declarations (crate root + imported leaf names), and `struct`
+//! definitions (field names and types). There is deliberately **no**
+//! expression grammar — the unit-flow and RNG-dataflow analyses walk
+//! raw tokens inside the body ranges this parser hands them.
+//!
+//! Robustness contract mirrors the lexer's: anything the parser cannot
+//! make sense of degrades to a skipped item, never a panic and never a
+//! bogus signature.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::match_brace;
+
+/// A parameter (or struct field): pattern name and flattened type text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Binding name (`rng`, `gain_db`); empty for destructuring
+    /// patterns and tuple-struct fields.
+    pub name: String,
+    /// Flattened type: idents space-separated, punctuation verbatim
+    /// (`& mut SimRng`, `Vec < f64 >`). Empty when elided.
+    pub ty: String,
+}
+
+impl Param {
+    /// Last path segment of the type (`movr_sim::SimTime` → `SimTime`),
+    /// the ident unit/type classification keys on.
+    pub fn ty_last_ident(&self) -> Option<&str> {
+        self.ty.split(|c: char| !c.is_alphanumeric() && c != '_')
+            .filter(|s| !s.is_empty())
+            .filter(|s| !matches!(*s, "mut" | "dyn" | "impl" | "const"))
+            .next_back()
+    }
+}
+
+/// A parsed `fn` signature plus the token range of its body.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True for unrestricted `pub` (not `pub(crate)` etc.).
+    pub is_pub: bool,
+    /// True when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// Parameters in order, `self` excluded.
+    pub params: Vec<Param>,
+    /// Flattened return type, `None` for `()`-returning fns.
+    pub ret: Option<String>,
+    /// Inclusive token range `(open_brace, close_brace)` of the body;
+    /// `None` for trait-signature declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One imported leaf from a `use` declaration: `use movr_math::db::{a,
+/// b as c}` yields leaves `a` and `c`, both rooted at `movr_math`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseLeaf {
+    /// First path segment (`movr_math`, `std`, `crate`, `super`).
+    pub root: String,
+    /// The name the import binds locally (alias-aware); `*` for globs.
+    pub name: String,
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+}
+
+/// A parsed `struct` definition.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields (empty for tuple/unit structs).
+    pub fields: Vec<Param>,
+}
+
+/// Everything the item-level parser extracted from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` in the file, including nested and `impl`/trait fns.
+    pub fns: Vec<FnSig>,
+    /// Every leaf bound by a `use` declaration.
+    pub uses: Vec<UseLeaf>,
+    /// Every `struct` definition.
+    pub structs: Vec<StructDef>,
+}
+
+impl ParsedFile {
+    /// The crate a locally-imported name resolves to, if any `use`
+    /// brought it in (`SimRng` → `movr_math`).
+    pub fn use_root_of(&self, name: &str) -> Option<&str> {
+        self.uses
+            .iter()
+            .find(|u| u.name == name)
+            .map(|u| u.root.as_str())
+    }
+}
+
+/// Parses the token stream of one file. Never panics.
+pub fn parse(tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Ident(w) if w == "use" => {
+                i = parse_use(tokens, i, &mut out.uses);
+            }
+            TokenKind::Ident(w) if w == "fn" => {
+                i = parse_fn(tokens, i, &mut out.fns);
+            }
+            TokenKind::Ident(w) if w == "struct" => {
+                i = parse_struct(tokens, i, &mut out.structs);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses `use <tree>;` starting at the `use` keyword; returns the
+/// index one past the terminating `;`.
+fn parse_use(tokens: &[Token], use_idx: usize, out: &mut Vec<UseLeaf>) -> usize {
+    let line = tokens[use_idx].line;
+    // Find the terminating `;` (depth-free: `use` trees have no parens).
+    let mut end = use_idx + 1;
+    while end < tokens.len() && !tokens[end].is_punct(';') {
+        end += 1;
+    }
+    let tree = &tokens[use_idx + 1..end.min(tokens.len())];
+    collect_use_leaves(tree, line, &[], out);
+    end + 1
+}
+
+/// Recursively walks a use-tree token slice, accumulating leaves.
+/// `prefix` carries the path segments seen so far.
+fn collect_use_leaves(tree: &[Token], line: usize, prefix: &[String], out: &mut Vec<UseLeaf>) {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut i = 0;
+    while i < tree.len() {
+        match &tree[i].kind {
+            TokenKind::Ident(w) if w == "as" => {
+                // Alias: the next ident is the bound name.
+                if let Some(TokenKind::Ident(alias)) = tree.get(i + 1).map(|t| &t.kind) {
+                    if let Some(root) = path.first() {
+                        out.push(UseLeaf { root: root.clone(), name: alias.clone(), line });
+                    }
+                }
+                return;
+            }
+            TokenKind::Ident(w) => {
+                path.push(w.clone());
+                i += 1;
+            }
+            TokenKind::Punct(':') => i += 1,
+            TokenKind::Punct('*') => {
+                if let Some(root) = path.first() {
+                    out.push(UseLeaf { root: root.clone(), name: "*".to_string(), line });
+                }
+                return;
+            }
+            TokenKind::Punct('{') => {
+                // Group: split the balanced interior at top-level commas
+                // and recurse into each branch with the current prefix.
+                let close = match_brace_slice(tree, i);
+                let interior = &tree[i + 1..close.min(tree.len())];
+                for branch in split_top_level(interior, ',') {
+                    collect_use_leaves(branch, line, &path, out);
+                }
+                return;
+            }
+            _ => i += 1,
+        }
+    }
+    // Plain path: the last segment is the leaf.
+    if let (Some(root), Some(leaf)) = (path.first(), path.last()) {
+        // `use movr_math;` binds the crate name itself.
+        out.push(UseLeaf { root: root.clone(), name: leaf.clone(), line });
+    }
+}
+
+/// Parses a `fn` item starting at the `fn` keyword; returns the index
+/// to resume scanning from (just past the signature, so nested items
+/// inside the body are still visited by the main loop).
+fn parse_fn(tokens: &[Token], fn_idx: usize, out: &mut Vec<FnSig>) -> usize {
+    let line = tokens[fn_idx].line;
+    let Some(TokenKind::Ident(name)) = tokens.get(fn_idx + 1).map(|t| &t.kind) else {
+        return fn_idx + 1; // `fn` in a type position (`fn(f64) -> f64`)
+    };
+    let name = name.clone();
+    let is_pub = leading_pub(tokens, fn_idx);
+    let mut i = fn_idx + 2;
+    // Skip generics `<...>` (every `<`/`>` counted; const-generic
+    // comparisons inside are not a thing in this codebase).
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens[i].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    if !tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+        return fn_idx + 2;
+    }
+    let open = i;
+    let close = match_paren_slice(tokens, open);
+    let mut has_self = false;
+    let mut params = Vec::new();
+    let interior = &tokens[open + 1..close.min(tokens.len())];
+    for (pi, part) in split_top_level(interior, ',').into_iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if pi == 0 && part.iter().any(|t| t.is_ident("self")) && !part.iter().any(|t| t.is_punct(':'))
+        {
+            has_self = true;
+            continue;
+        }
+        params.push(parse_param(part));
+    }
+    // Return type: `-> Type` up to `{`, `;`, or `where`.
+    let mut j = close + 1;
+    let mut ret = None;
+    if tokens.get(j).is_some_and(|t| t.is_punct('-'))
+        && tokens.get(j + 1).is_some_and(|t| t.is_punct('>'))
+    {
+        let start = j + 2;
+        let mut k = start;
+        let mut depth = 0i32;
+        while k < tokens.len() {
+            match &tokens[k].kind {
+                TokenKind::Punct('{') if depth == 0 => break,
+                TokenKind::Punct(';') if depth == 0 => break,
+                TokenKind::Ident(w) if w == "where" && depth == 0 => break,
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        ret = Some(flatten(&tokens[start..k.min(tokens.len())]));
+        j = k;
+    }
+    // Body: skip any where clause, then `{ ... }` or `;`.
+    let mut body = None;
+    while j < tokens.len() {
+        if tokens[j].is_punct(';') {
+            break;
+        }
+        if tokens[j].is_punct('{') {
+            body = Some((j, match_brace(tokens, j)));
+            break;
+        }
+        j += 1;
+    }
+    out.push(FnSig { name, line, is_pub, has_self, params, ret, body });
+    // Resume just past the signature so nested fns are still seen.
+    close + 1
+}
+
+/// Parses one comma-separated parameter: `mut name: Type`, `&mut self`,
+/// or a destructuring pattern (name left empty).
+fn parse_param(part: &[Token]) -> Param {
+    let colon = split_point(part, ':');
+    let (pat, ty) = match colon {
+        Some(c) => (&part[..c], &part[c + 1..]),
+        None => (part, &part[part.len()..]),
+    };
+    let mut names: Vec<&str> = Vec::new();
+    let mut destructured = false;
+    for t in pat {
+        match &t.kind {
+            TokenKind::Ident(w) if w == "mut" || w == "ref" => {}
+            TokenKind::Ident(w) => names.push(w),
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                destructured = true;
+            }
+            _ => {}
+        }
+    }
+    let name = if !destructured && names.len() == 1 {
+        names[0].to_string()
+    } else {
+        String::new()
+    };
+    Param { name, ty: flatten(ty) }
+}
+
+/// Parses a `struct` item starting at the keyword; returns the resume
+/// index (past the item for braced/unit structs).
+fn parse_struct(tokens: &[Token], kw_idx: usize, out: &mut Vec<StructDef>) -> usize {
+    let line = tokens[kw_idx].line;
+    let Some(TokenKind::Ident(name)) = tokens.get(kw_idx + 1).map(|t| &t.kind) else {
+        return kw_idx + 1;
+    };
+    let name = name.clone();
+    let mut i = kw_idx + 2;
+    // Skip generics.
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match tokens[i].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut fields = Vec::new();
+    let resume;
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(TokenKind::Punct('{')) => {
+            let close = match_brace(tokens, i);
+            let interior = &tokens[i + 1..close.min(tokens.len())];
+            for part in split_top_level(interior, ',') {
+                if part.is_empty() {
+                    continue;
+                }
+                // Drop visibility and attributes on the field.
+                let part = strip_field_prefix(part);
+                if part.iter().any(|t| t.is_punct(':')) {
+                    fields.push(parse_param(part));
+                }
+            }
+            resume = close + 1;
+        }
+        Some(TokenKind::Punct('(')) => {
+            // Tuple struct: record types without names.
+            let close = match_paren_slice(tokens, i);
+            let interior = &tokens[i + 1..close.min(tokens.len())];
+            for part in split_top_level(interior, ',') {
+                let part = strip_field_prefix(part);
+                if !part.is_empty() {
+                    fields.push(Param { name: String::new(), ty: flatten(part) });
+                }
+            }
+            resume = close + 1;
+        }
+        _ => resume = i, // unit struct `struct X;` or something exotic
+    }
+    out.push(StructDef { name, line, fields });
+    resume
+}
+
+/// Strips leading `pub`/`pub(...)` and `#[...]` attributes from a field.
+fn strip_field_prefix(mut part: &[Token]) -> &[Token] {
+    loop {
+        match part.first().map(|t| &t.kind) {
+            Some(TokenKind::Punct('#')) => {
+                // Attribute: skip to past the matching `]`.
+                let j = 1;
+                if part.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let close = match_delim_slice(part, j, '[', ']');
+                    part = &part[close + 1..];
+                } else {
+                    part = &part[1..];
+                }
+            }
+            Some(TokenKind::Ident(w)) if w == "pub" => {
+                if part.get(1).is_some_and(|t| t.is_punct('(')) {
+                    let close = match_paren_slice(part, 1);
+                    part = &part[close + 1..];
+                } else {
+                    part = &part[1..];
+                }
+            }
+            _ => return part,
+        }
+    }
+}
+
+/// True when the tokens just before `fn` make it an unrestricted `pub`
+/// item (`pub fn`, `pub const fn`, `pub unsafe fn` — but not
+/// `pub(crate) fn`, which is crate-internal).
+fn leading_pub(tokens: &[Token], fn_idx: usize) -> bool {
+    let mut i = fn_idx;
+    let mut steps = 0;
+    while i > 0 && steps < 6 {
+        i -= 1;
+        steps += 1;
+        match &tokens[i].kind {
+            TokenKind::Ident(w) if matches!(w.as_str(), "const" | "unsafe" | "async" | "extern") => {}
+            TokenKind::Str => {} // `extern "C"`
+            TokenKind::Punct(')') => {
+                // Possibly the `(crate)` of a restricted pub: walk to
+                // its `(` and keep looking left.
+                let mut depth = 1;
+                while i > 0 && depth > 0 {
+                    i -= 1;
+                    match tokens[i].kind {
+                        TokenKind::Punct(')') => depth += 1,
+                        TokenKind::Punct('(') => depth -= 1,
+                        _ => {}
+                    }
+                }
+                // `pub(...)`: restricted, not public API.
+                if i > 0 && tokens[i - 1].is_ident("pub") {
+                    return false;
+                }
+                return false;
+            }
+            TokenKind::Ident(w) if w == "pub" => return true,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Splits `tokens` at occurrences of `sep` that sit at zero
+/// paren/bracket/brace/angle depth.
+fn split_top_level(tokens: &[Token], sep: char) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut start = 0;
+    for (k, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = (angle - 1).max(0),
+            TokenKind::Punct(c) if c == sep && depth == 0 && angle == 0 => {
+                out.push(&tokens[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&tokens[start..]);
+    out
+}
+
+/// Index of the first `sep` at zero depth, if any.
+fn split_point(tokens: &[Token], sep: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    for (k, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle = (angle - 1).max(0),
+            TokenKind::Punct(c) if c == sep && depth == 0 && angle == 0 => {
+                // `::` is a path separator, not a type-ascription colon.
+                if sep == ':'
+                    && (tokens.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        || (k > 0 && tokens[k - 1].is_punct(':')))
+                {
+                    continue;
+                }
+                return Some(k);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Flattens a token slice into readable type text: idents separated by
+/// spaces, punctuation run together (`& mut Vec < f64 >`).
+fn flatten(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        let piece = match &t.kind {
+            TokenKind::Ident(s) => s.as_str(),
+            TokenKind::Number(s) => s.as_str(),
+            TokenKind::Lifetime => "'_",
+            TokenKind::Str => "\"\"",
+            TokenKind::Char => "'_'",
+            TokenKind::Punct(c) => {
+                if !out.is_empty() && !out.ends_with(' ') {
+                    out.push(' ');
+                }
+                out.push(*c);
+                continue;
+            }
+        };
+        if !out.is_empty() && !out.ends_with(' ') {
+            out.push(' ');
+        }
+        out.push_str(piece);
+    }
+    out
+}
+
+/// Paren matcher usable on slices (same contract as `source::match_brace`).
+fn match_paren_slice(tokens: &[Token], open: usize) -> usize {
+    match_delim_slice(tokens, open, '(', ')')
+}
+
+fn match_brace_slice(tokens: &[Token], open: usize) -> usize {
+    match_delim_slice(tokens, open, '{', '}')
+}
+
+fn match_delim_slice(tokens: &[Token], open: usize, lo: char, hi: char) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if let TokenKind::Punct(c) = t.kind {
+            if c == lo {
+                depth += 1;
+            } else if c == hi {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k;
+                }
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_signature_params_and_ret() {
+        let p = parse_src("pub fn apply_gain(gain_db: f64, rng: &mut SimRng) -> f64 { 0.0 }");
+        assert_eq!(p.fns.len(), 1);
+        let f = &p.fns[0];
+        assert_eq!(f.name, "apply_gain");
+        assert!(f.is_pub);
+        assert!(!f.has_self);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "gain_db");
+        assert_eq!(f.params[0].ty, "f64");
+        assert_eq!(f.params[1].name, "rng");
+        assert_eq!(f.params[1].ty, "& mut SimRng");
+        assert_eq!(f.params[1].ty_last_ident(), Some("SimRng"));
+        assert_eq!(f.ret.as_deref(), Some("f64"));
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn method_with_self_and_generics() {
+        let p = parse_src(
+            "impl Foo { pub(crate) fn push<T: Into<f64>>(&mut self, snr_db: T) -> Option<f64> { None } }",
+        );
+        let f = &p.fns[0];
+        assert_eq!(f.name, "push");
+        assert!(!f.is_pub, "pub(crate) is not public API");
+        assert!(f.has_self);
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].name, "snr_db");
+        assert_eq!(f.ret.as_deref(), Some("Option < f64 >"));
+    }
+
+    #[test]
+    fn trait_signature_has_no_body() {
+        let p = parse_src("trait T { fn probe(&mut self, label: u64) -> f64; }");
+        assert!(p.fns[0].body.is_none());
+        assert_eq!(p.fns[0].params[0].name, "label");
+    }
+
+    #[test]
+    fn use_groups_aliases_and_globs() {
+        let p = parse_src(
+            "use movr_math::{db, rng::SimRng};\nuse movr_sim::SimTime as T;\nuse movr_obs::*;",
+        );
+        let names: Vec<(&str, &str)> = p
+            .uses
+            .iter()
+            .map(|u| (u.root.as_str(), u.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            [("movr_math", "db"), ("movr_math", "SimRng"), ("movr_sim", "T"), ("movr_obs", "*")]
+        );
+        assert_eq!(p.use_root_of("SimRng"), Some("movr_math"));
+    }
+
+    #[test]
+    fn struct_fields_with_attrs_and_vis() {
+        let p = parse_src(
+            "pub struct Link { pub snr_db: f64, #[doc(hidden)] raw: Vec<u8>, }\nstruct P(f64, u32);\nstruct U;",
+        );
+        assert_eq!(p.structs.len(), 3);
+        let link = &p.structs[0];
+        assert_eq!(link.name, "Link");
+        assert_eq!(link.fields.len(), 2);
+        assert_eq!(link.fields[0].name, "snr_db");
+        assert_eq!(link.fields[1].name, "raw");
+        assert_eq!(p.structs[1].fields.len(), 2);
+        assert!(p.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_destructured_params_skipped() {
+        let p = parse_src("fn outer((a, b): (f64, f64)) { fn inner(x_db: f64) {} }");
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        assert_eq!(p.fns[0].params[0].name, "", "destructuring pattern has no single name");
+    }
+
+    #[test]
+    fn where_clause_does_not_swallow_the_body() {
+        let p = parse_src("fn f<T>(x: T) -> u32 where T: Copy { 1 }");
+        assert_eq!(p.fns[0].ret.as_deref(), Some("u32"));
+        assert!(p.fns[0].body.is_some());
+    }
+}

@@ -3,6 +3,7 @@
 //! structured [`Diagnostic`]s. See `DESIGN.md` § "Static analysis" for
 //! the rationale behind each rule and how to add one.
 
+use crate::layers::LayerSpec;
 use crate::source::{FileKind, SourceFile};
 use crate::lexer::{Token, TokenKind};
 use std::collections::HashMap;
@@ -34,11 +35,20 @@ pub const RULES: &[&str] = &[
     "unwrap-in-lib",
     "raw-numeric-cast",
     "unjustified-allow",
+    "unit-mix-assign",
+    "unit-mix-arith",
+    "unit-mix-call",
+    "rng-fork-aliased",
+    "rng-fork-in-loop",
+    "rng-cross-crate-untagged",
+    "layer-violation",
 ];
 
 /// Runs every rule over `files` and returns the combined findings,
-/// sorted by (file, line, rule).
-pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
+/// sorted by (file, line, rule). `layers` is the parsed
+/// `lint-layers.toml` when the analyzed root has one; without it the
+/// layering analysis is skipped (the other analyses still run).
+pub fn run_all(files: &[SourceFile], layers: Option<&LayerSpec>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for f in files {
         no_wall_clock(f, &mut out);
@@ -51,6 +61,11 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
         unjustified_allow(f, &mut out);
     }
     rng_fork_label_unique(files, &mut out);
+    crate::units::check(files, &mut out);
+    crate::rng_flow::check(files, &mut out);
+    if let Some(spec) = layers {
+        crate::layers::check(files, spec, &mut out);
+    }
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });
@@ -363,7 +378,10 @@ fn unwrap_in_lib(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// `From`/`TryFrom` where lossless. Existing casts are baselined and
 /// ratcheted downward.
 fn raw_numeric_cast(f: &SourceFile, out: &mut Vec<Diagnostic>) {
-    if f.kind != FileKind::Lib {
+    // `movr_math::convert` is the audited home for the casts that must
+    // exist somewhere (quantizer ranges, counter→f64 means), mirroring
+    // the db.rs exemption in raw-db-arithmetic.
+    if f.kind != FileKind::Lib || f.rel == "crates/math/src/convert.rs" {
         return;
     }
     const NUMERIC: &[&str] = &[
@@ -495,7 +513,7 @@ mod tests {
     }
 
     fn rules_hit(src: &str) -> Vec<(&'static str, usize)> {
-        run_all(&[lib(src)])
+        run_all(&[lib(src)], None)
             .into_iter()
             .map(|d| (d.rule, d.line))
             .collect()
@@ -565,7 +583,7 @@ mod tests {
             "crates/other/src/lib.rs",
             "fn h(r: &mut SimRng) { let w = r.fork(1); }",
         );
-        let hits: Vec<_> = run_all(&[a, b, other])
+        let hits: Vec<_> = run_all(&[a, b, other], None)
             .into_iter()
             .map(|d| (d.file, d.line))
             .collect();

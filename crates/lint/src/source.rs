@@ -3,6 +3,7 @@
 //! items). Rules consult this to scope themselves correctly.
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{self, ParsedFile};
 
 /// Where a `.rs` file sits in the workspace layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +32,9 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// Raw source lines, for snippets and line-anchored rules.
     pub lines: Vec<String>,
+    /// Item-level parse (fn signatures, use leaves, struct fields) for
+    /// the semantic analyses.
+    pub parsed: ParsedFile,
     /// Token-index ranges `[start, end)` covering `#[cfg(test)]` items.
     test_ranges: Vec<(usize, usize)>,
 }
@@ -40,6 +44,7 @@ impl SourceFile {
     pub fn parse(rel: &str, src: &str) -> SourceFile {
         let tokens = lex(src);
         let test_ranges = compute_test_ranges(&tokens);
+        let parsed = parser::parse(&tokens);
         let (crate_name, kind) = classify(rel);
         SourceFile {
             rel: rel.to_string(),
@@ -47,6 +52,7 @@ impl SourceFile {
             kind,
             tokens,
             lines: src.lines().map(str::to_string).collect(),
+            parsed,
             test_ranges,
         }
     }
@@ -174,6 +180,13 @@ fn match_bracket(tokens: &[Token], open: usize) -> usize {
 /// last token if unbalanced).
 pub fn match_brace(tokens: &[Token], open: usize) -> usize {
     match_delim(tokens, open, '{', '}')
+}
+
+/// `tokens[open]` is the opening delimiter `lo`; returns the index of
+/// the matching `hi` (or the last token if unbalanced). Public variant
+/// for analyses that match parens/brackets outside this module.
+pub fn match_delim_pub(tokens: &[Token], open: usize, lo: char, hi: char) -> usize {
+    match_delim(tokens, open, lo, hi)
 }
 
 fn match_delim(tokens: &[Token], open: usize, lo: char, hi: char) -> usize {

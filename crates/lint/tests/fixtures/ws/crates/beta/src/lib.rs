@@ -1,0 +1,19 @@
+//! Fixture: seeded architecture-layering back-edges.
+
+use movr_math::db::db_to_linear;
+
+pub fn ok_edge(x_db: f64) -> f64 {
+    db_to_linear(x_db)
+}
+
+pub fn up_into_radio() {
+    movr_radio::mcs::table();
+}
+
+pub fn up_into_vr() {
+    movr_vr::session::start();
+}
+
+pub fn undeclared_target() {
+    movr_ghost::poke();
+}

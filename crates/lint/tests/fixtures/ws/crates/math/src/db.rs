@@ -1,0 +1,12 @@
+//! Fixture: the audited conversion site. This file mixes dB and linear
+//! values on purpose — it is the exempt home for conversions, so the
+//! unit-flow analysis must stay silent here (clean-pass guard).
+
+pub fn db_to_linear(x_db: f64) -> f64 {
+    let linear = x_db;
+    linear
+}
+
+pub fn linear_to_db(gain_linear: f64) -> f64 {
+    gain_linear
+}

@@ -1,0 +1,21 @@
+//! Fixture: seeded RNG-stream dataflow violations (and the tagged fix).
+
+pub fn aliased(rng: &mut SimRng) -> SimRng {
+    rng.clone()
+}
+
+pub fn per_frame(rng: &mut SimRng) {
+    for frame in 0..16 {
+        let stream = rng.fork(3);
+        let _ = (frame, stream);
+    }
+}
+
+pub fn handoff(rng: &mut SimRng) {
+    movr_rfsim::sample(rng);
+}
+
+pub fn tagged(rng: &mut SimRng) {
+    let mut child = rng.fork(9);
+    movr_rfsim::sample(&mut child);
+}

@@ -1,0 +1,15 @@
+//! Fixture: seeded unit-flow violations. selftest.rs pins each hit.
+
+pub fn apply_gain(gain_db: f64) -> f64 {
+    gain_db
+}
+
+pub fn mixes(leak_linear: f64, snr_db: f64) -> f64 {
+    let total_db = leak_linear;
+    let margin = snr_db + leak_linear;
+    apply_gain(leak_linear) + total_db + margin
+}
+
+pub fn link_budget(p_dbm: f64, g_db: f64) -> f64 {
+    p_dbm + g_db
+}

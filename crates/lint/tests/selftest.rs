@@ -4,7 +4,7 @@
 //! precise diff here. Also exercises the ratchet round-trip on the
 //! fixture findings.
 
-use movr_lint::{analyze, apply_baseline, Baseline, RULES};
+use movr_lint::{analyze, analyze_threaded, apply_baseline, Baseline, RULES};
 use std::path::{Path, PathBuf};
 
 fn fixture_root() -> PathBuf {
@@ -27,6 +27,15 @@ const EXPECTED: &[(&str, &str, usize)] = &[
     ("unwrap-in-lib", "crates/alpha/src/lib.rs", 36),
     ("raw-numeric-cast", "crates/alpha/src/lib.rs", 40),
     ("unjustified-allow", "crates/alpha/src/lib.rs", 43),
+    ("layer-violation", "crates/beta/src/lib.rs", 10),
+    ("layer-violation", "crates/beta/src/lib.rs", 14),
+    ("layer-violation", "crates/beta/src/lib.rs", 18),
+    ("rng-fork-aliased", "crates/rng/src/lib.rs", 4),
+    ("rng-fork-in-loop", "crates/rng/src/lib.rs", 9),
+    ("rng-cross-crate-untagged", "crates/rng/src/lib.rs", 15),
+    ("unit-mix-assign", "crates/units/src/lib.rs", 8),
+    ("unit-mix-arith", "crates/units/src/lib.rs", 9),
+    ("unit-mix-call", "crates/units/src/lib.rs", 10),
     ("no-wall-clock", "tests/integration.rs", 9),
     ("no-wall-clock", "tests/integration.rs", 10),
 ];
@@ -83,6 +92,31 @@ fn ratchet_roundtrip_on_fixture() {
     let raw = apply_baseline(analyze(&fixture_root()).expect("re-analyze"), &Baseline::empty());
     assert_eq!(raw.new.len(), total);
     assert!(!raw.is_clean());
+}
+
+#[test]
+fn exempt_db_file_mixes_units_cleanly() {
+    // The fixture's crates/math/src/db.rs assigns a dB value to a
+    // `linear`-named binding — the one place that must never fire.
+    let report = analyze(&fixture_root()).expect("fixture workspace analyzes");
+    assert!(
+        !report.diagnostics.iter().any(|d| d.file == "crates/math/src/db.rs"),
+        "the audited conversion site must produce no diagnostics"
+    );
+}
+
+#[test]
+fn parallel_report_is_byte_identical() {
+    let one = analyze_threaded(&fixture_root(), 1).expect("single-threaded");
+    for threads in [2, 3, 8] {
+        let many = analyze_threaded(&fixture_root(), threads).expect("threaded");
+        assert_eq!(
+            one.render_json(),
+            many.render_json(),
+            "{threads}-thread report drifted from single-threaded output"
+        );
+        assert_eq!(one.files_scanned, many.files_scanned);
+    }
 }
 
 #[test]

@@ -71,7 +71,7 @@ impl C64 {
     /// than NaN-poisoning downstream sums.
     pub fn recip(self) -> Self {
         let d = self.norm_sq();
-        if d == 0.0 {
+        if d <= 0.0 {
             C64::ZERO
         } else {
             C64::new(self.re / d, -self.im / d)

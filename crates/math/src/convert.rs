@@ -1,0 +1,62 @@
+//! Audited numeric conversions.
+//!
+//! `as` casts silently truncate, wrap, and lose precision, so movr-lint
+//! ratchets them (`raw-numeric-cast`). Some conversions are still
+//! necessary — counter means, quantizer step sizes, truncating a
+//! computed count — and this module is their one audited home, exempt
+//! from the rule the same way `db.rs` is exempt from
+//! `raw-db-arithmetic`. Each helper documents exactly what is lost.
+
+/// `usize → f64` for counts (sums over `n` samples, vertex counts).
+///
+/// Exact for every count below 2^53 (~9·10^15); simulation loop and
+/// collection sizes are far below that, so in practice lossless.
+pub fn usize_to_f64(n: usize) -> f64 {
+    n as f64
+}
+
+/// `u64 → f64` for small bit-width derived values (`1 << adc_bits`).
+///
+/// Exact below 2^53, same argument as [`usize_to_f64`]; quantizer
+/// level counts come from bit widths ≤ 32, so always exact here.
+pub fn u64_to_f64(x: u64) -> f64 {
+    x as f64
+}
+
+/// `usize → u64` for counters crossing into fixed-width APIs
+/// (`SimTime::from_nanos` arithmetic, fork labels).
+///
+/// Lossless on every supported target (usize is at most 64 bits).
+pub fn usize_to_u64(n: usize) -> u64 {
+    n as u64
+}
+
+/// `f64 → u64` truncating toward zero, for computed non-negative counts
+/// (`2·window + 1` sweep steps).
+///
+/// Fractional parts are dropped; negative and non-finite inputs
+/// saturate to 0 / `u64::MAX` per Rust's defined `as` semantics.
+pub fn f64_to_u64(x: f64) -> u64 {
+    x as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_conversions_are_exact_in_range() {
+        assert_eq!(usize_to_f64(0), 0.0);
+        assert_eq!(usize_to_f64(1_000_000), 1.0e6);
+        assert_eq!(u64_to_f64((1u64 << 12) - 1), 4095.0);
+        assert_eq!(usize_to_u64(usize::MAX) as usize, usize::MAX);
+    }
+
+    #[test]
+    fn f64_to_u64_truncates_and_saturates() {
+        assert_eq!(f64_to_u64(7.9), 7);
+        assert_eq!(f64_to_u64(0.0), 0);
+        assert_eq!(f64_to_u64(-3.0), 0);
+        assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod angle;
 pub mod complex;
+pub mod convert;
 pub mod db;
 pub mod rng;
 pub mod stats;

@@ -64,7 +64,7 @@ impl Vec2 {
     /// zero vector (callers treat that as "no direction").
     pub fn normalized(self) -> Vec2 {
         let n = self.norm();
-        if n == 0.0 {
+        if n <= 0.0 {
             Vec2::ZERO
         } else {
             self / n
@@ -102,7 +102,7 @@ impl Vec2 {
     /// Projects this vector onto `onto` (returns the parallel component).
     pub fn project_onto(self, onto: Vec2) -> Vec2 {
         let d = onto.norm_sq();
-        if d == 0.0 {
+        if d <= 0.0 {
             Vec2::ZERO
         } else {
             onto * (self.dot(onto) / d)

@@ -44,7 +44,7 @@ impl PhaseShifter {
 
     /// The smallest phase step the control DAC can command, degrees.
     pub fn step_deg(&self) -> f64 {
-        360.0 / (1u64 << self.control_bits) as f64
+        360.0 / movr_math::convert::u64_to_f64(1u64 << self.control_bits)
     }
 
     /// Quantises a requested phase (degrees) to the nearest control step,

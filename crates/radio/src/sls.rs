@@ -119,7 +119,7 @@ pub fn sector_level_sweep(
     // Feedback exchange, then measure the trained link for real.
     let trained = crate::endpoint::evaluate_link(scene, &initiator, &responder).snr_db;
     let elapsed = SimTime::from_nanos(
-        frames as u64 * config.ssw_frame.as_nanos() + config.feedback.as_nanos(),
+        movr_math::convert::usize_to_u64(frames) * config.ssw_frame.as_nanos() + config.feedback.as_nanos(),
     );
 
     SlsResult {

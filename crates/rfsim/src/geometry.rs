@@ -353,7 +353,7 @@ impl Room {
             .vertices
             .iter()
             .fold(Vec2::ZERO, |acc, &v| acc + v);
-        sum / self.vertices.len() as f64
+        sum / movr_math::convert::usize_to_f64(self.vertices.len())
     }
 
     /// Clamps a point to lie inside the room with at least `margin` to

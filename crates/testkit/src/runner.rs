@@ -108,7 +108,7 @@ where
     while passed < cfg.cases {
         // Each case draws from its own forked stream so a property that
         // consumes extra randomness cannot shift later cases.
-        let mut rng = SimRng::seed_from_u64(cfg.seed).fork(case as u64);
+        let mut rng = SimRng::seed_from_u64(cfg.seed).fork(u64::from(case));
         let value = gen.generate(&mut rng);
         case += 1;
         match prop(&value) {

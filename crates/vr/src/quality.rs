@@ -56,7 +56,7 @@ impl QualityModel {
         if report.loss_rate >= self.unplayable_loss {
             return QualityGrade::Unplayable;
         }
-        let events_per_minute = report.glitch_events as f64 * 60.0 / duration_s;
+        let events_per_minute = movr_math::convert::usize_to_f64(report.glitch_events) * 60.0 / duration_s;
         if report.loss_rate >= self.poor_loss {
             return QualityGrade::Poor;
         }

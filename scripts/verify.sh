@@ -17,6 +17,16 @@ cargo test -p movr-lint -q --offline
 echo "==> movr-lint: workspace clean against lint-baseline.toml"
 cargo run -q -p movr-lint --offline -- --root .
 
+echo "==> movr-lint: SARIF output validates against in-tree checker"
+mkdir -p out
+cargo run -q -p movr-lint --offline -- --root . --sarif out/lint.sarif
+cargo run -q -p movr-lint --offline -- --check-sarif out/lint.sarif
+
+echo "==> movr-lint: parallel run is byte-identical to single-threaded"
+cargo run -q -p movr-lint --offline -- --root . --json --threads 1 > out/lint-t1.json || true
+cargo run -q -p movr-lint --offline -- --root . --json --threads 4 > out/lint-t4.json || true
+cmp out/lint-t1.json out/lint-t4.json
+
 echo "==> tier-1: root package tests"
 cargo test -q --offline
 
