@@ -1,0 +1,222 @@
+//! Sweep-rate benches: the §4.1 alignment sweep with and without the
+//! link cache, and a multi-seed session fleet with and without the
+//! deterministic thread fan-out.
+//!
+//! Two claims are *asserted*, not just timed:
+//!
+//! * the cached full 101×101 incidence sweep is **bit-identical** to a
+//!   seed-era uncached reference (re-trace + steering-vector rebuild per
+//!   probe) and at least 5× faster;
+//! * the parallel session fleet is **byte-identical** to the same fleet
+//!   on one thread.
+//!
+//! Runs on the in-tree `movr-testkit` runner: one JSON line per bench
+//! plus `sweep_speedup` / `fleet_speedup` summary lines. Invoke with
+//! `cargo bench -p movr-bench --bench sweep` (full) or
+//! `... -- --quick` (smoke profile; CI writes this to
+//! `out/BENCH_sweep.json`).
+
+use movr::alignment::{estimate_incidence, AlignmentConfig};
+use movr::reflector::MovrReflector;
+use movr::session::{run_session, SessionConfig, Strategy};
+use movr_math::{wrap_deg_180, SimRng, Vec2};
+use movr_motion::RandomWalk;
+use movr_phased_array::SteeredArray;
+use movr_radio::RadioEndpoint;
+use movr_rfsim::{Pattern, Room, Scene};
+use movr_sim::{available_threads, par_map};
+use movr_testkit::{bench_with_setup, BenchOptions, BenchReport};
+
+/// Seed-era pattern adapter: every gain query rebuilds the full
+/// steering vector from the element geometry, exactly what
+/// `SteeredArray::gain_dbi` did before the cache. Bit-identical to the
+/// cached path (same float op order), so the uncached sweep below is a
+/// faithful "before" both in cost and in output.
+struct UncachedPattern<'a>(&'a SteeredArray);
+
+impl Pattern for UncachedPattern<'_> {
+    fn gain_dbi(&self, direction_deg: f64) -> f64 {
+        let local = wrap_deg_180(direction_deg - self.0.boresight_deg());
+        self.0.array().gain_dbi(self.0.steer_local_deg(), local)
+    }
+}
+
+/// Seed-era round trip: re-traces both legs of the AP ↔ reflector loop
+/// per call and rebuilds every steering vector per gain query.
+fn uncached_round_trip(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    reflector: &MovrReflector,
+) -> Option<f64> {
+    let ap_pat = UncachedPattern(ap.array());
+    let hop1 = scene.link_budget(
+        ap.position(),
+        &ap_pat,
+        ap.tx_power_dbm(),
+        reflector.position(),
+        &UncachedPattern(reflector.rx_array()),
+    );
+    let out_dbm = hop1.received_dbm + reflector.effective_gain_db()?;
+    let hop2 = scene.link_budget(
+        reflector.position(),
+        &UncachedPattern(reflector.tx_array()),
+        out_dbm,
+        ap.position(),
+        &ap_pat,
+    );
+    Some(hop2.received_dbm)
+}
+
+/// The full (θ₁ × θ₂) incidence sweep exactly as the seed evaluated it:
+/// steer the live AP per candidate, re-trace per probe. Returns
+/// `(peak_dbm, theta1, theta2)` — comparable bit-for-bit with
+/// [`estimate_incidence`] on the same RNG seed.
+fn uncached_incidence(
+    scene: &Scene,
+    mut ap: RadioEndpoint,
+    mut reflector: MovrReflector,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> (f64, f64, f64) {
+    assert!(config.modulated, "reference implements the modulated protocol");
+    reflector.set_gain_db(config.probe_gain_db);
+    reflector.set_modulating(true);
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    for &theta1 in config.reflector_codebook.beams() {
+        reflector.steer_both(theta1);
+        for &theta2 in config.ap_codebook.beams() {
+            ap.steer_to(theta2);
+            let reflected =
+                uncached_round_trip(scene, &ap, &reflector).unwrap_or(f64::NEG_INFINITY);
+            let reading = config
+                .probe
+                .measure_modulated(reflected, ap.tx_power_dbm(), rng);
+            if reading.power_dbm > best.0 {
+                best = (reading.power_dbm, theta1, theta2);
+            }
+        }
+    }
+    best
+}
+
+fn sweep_setup() -> (Scene, RadioEndpoint, MovrReflector, AlignmentConfig) {
+    let scene = Scene::paper_office();
+    let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let reflector =
+        MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, movr::system::PAPER_DEVICE_SEED);
+    // The paper's full sweep: 101 × 101 probes at 1°.
+    (scene, ap, reflector, AlignmentConfig::default())
+}
+
+/// Cached vs uncached full alignment sweep. Asserts bit-identity first,
+/// then times both and asserts the ≥ 5× speedup the link cache claims.
+fn bench_alignment_sweep(opts: &BenchOptions) -> (Vec<BenchReport>, f64) {
+    let (scene, ap, reflector, cfg) = sweep_setup();
+
+    // Equivalence gate: same seed, same argmax, same peak power bits.
+    let mut rng_c = SimRng::seed_from_u64(7);
+    let cached = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_c);
+    let mut rng_u = SimRng::seed_from_u64(7);
+    let (peak, t1, t2) = uncached_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_u);
+    assert_eq!(
+        cached.peak_power_dbm.to_bits(),
+        peak.to_bits(),
+        "cached sweep must be bit-identical to the uncached reference"
+    );
+    assert_eq!(cached.reflector_angle_deg, t1);
+    assert_eq!(cached.ap_angle_deg, t2);
+
+    let r_cached = bench_with_setup(
+        "alignment_sweep_101x101_cached",
+        opts,
+        || SimRng::seed_from_u64(7),
+        |mut rng| estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
+    );
+    let r_uncached = bench_with_setup(
+        "alignment_sweep_101x101_uncached",
+        opts,
+        || SimRng::seed_from_u64(7),
+        |mut rng| uncached_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
+    );
+    let speedup = r_uncached.median_ns / r_cached.median_ns;
+    assert!(
+        speedup >= 5.0,
+        "link cache must buy >= 5x on the full sweep, got {speedup:.2}x"
+    );
+    (vec![r_cached, r_uncached], speedup)
+}
+
+/// Runs one seeded VR session and returns a byte-exact fingerprint of
+/// everything the fleet aggregates.
+fn session_fingerprint(seed: u64) -> String {
+    let room = Room::paper_office();
+    let trace = RandomWalk::with_gaze(&room, seed, 1.0, Vec2::new(0.5, 2.5));
+    let cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+    let out = run_session(&trace, &cfg);
+    format!(
+        "{:x}:{:x}:{}:{}:{:x}:{:?}",
+        out.mean_snr_db.to_bits(),
+        out.min_snr_db.to_bits(),
+        out.mode_switches,
+        out.realignments,
+        out.reflector_fraction.to_bits(),
+        out.glitches
+    )
+}
+
+fn run_fleet(seeds: &[u64], threads: usize) -> Vec<String> {
+    par_map(seeds, threads, |_, &seed| session_fingerprint(seed))
+}
+
+/// Multi-seed session fleet, sequential vs fanned out. Asserts the
+/// parallel fleet is byte-identical to the single-threaded one.
+fn bench_session_fleet(opts: &BenchOptions) -> (Vec<BenchReport>, f64, usize) {
+    let seeds: Vec<u64> = (0..8).collect();
+    let threads = available_threads();
+
+    let seq = run_fleet(&seeds, 1);
+    for probe in [2, 3, threads] {
+        assert_eq!(
+            run_fleet(&seeds, probe),
+            seq,
+            "fleet output must be byte-identical on {probe} threads"
+        );
+    }
+
+    let r_seq = bench_with_setup(
+        "session_fleet_8x1s_1thread",
+        opts,
+        || (),
+        |()| run_fleet(&seeds, 1),
+    );
+    let r_par = bench_with_setup(
+        "session_fleet_8x1s_par",
+        opts,
+        || (),
+        |()| run_fleet(&seeds, threads),
+    );
+    let speedup = r_seq.median_ns / r_par.median_ns;
+    (vec![r_seq, r_par], speedup, threads)
+}
+
+fn main() {
+    let opts = BenchOptions::from_args(std::env::args().skip(1));
+
+    let (sweep_reports, sweep_speedup) = bench_alignment_sweep(&opts);
+    for r in &sweep_reports {
+        println!("{}", r.json_line());
+    }
+    println!(
+        "{{\"name\":\"sweep_speedup\",\"speedup\":{sweep_speedup:.2},\"threshold\":5.0,\
+         \"bit_identical\":true}}"
+    );
+
+    let (fleet_reports, fleet_speedup, threads) = bench_session_fleet(&opts);
+    for r in &fleet_reports {
+        println!("{}", r.json_line());
+    }
+    println!(
+        "{{\"name\":\"fleet_speedup\",\"speedup\":{fleet_speedup:.2},\"threads\":{threads},\
+         \"byte_identical\":true}}"
+    );
+}

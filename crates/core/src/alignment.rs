@@ -22,12 +22,12 @@
 //! channel.
 
 use crate::reflector::MovrReflector;
-use crate::relay::{relay_link, round_trip_reflection_dbm};
+use crate::relay::{relay_link_with, round_trip_reflection_with};
 use movr_math::SimRng;
 use movr_obs::{null_capture, Capture, Event};
-use movr_phased_array::Codebook;
-use movr_radio::{RadioEndpoint, ToneProbe};
-use movr_rfsim::Scene;
+use movr_phased_array::{Codebook, PatternTable};
+use movr_radio::{ArrayPattern, RadioEndpoint, ToneProbe};
+use movr_rfsim::{MemoPattern, Scene};
 use movr_sim::SimTime;
 
 /// Alignment-protocol parameters.
@@ -106,7 +106,7 @@ pub fn estimate_incidence(
 /// function: the recorder draws nothing from `rng`.
 pub fn estimate_incidence_recorded(
     scene: &Scene,
-    mut ap: RadioEndpoint,
+    ap: RadioEndpoint,
     mut reflector: MovrReflector,
     config: &AlignmentConfig,
     rng: &mut SimRng,
@@ -125,13 +125,39 @@ pub fn estimate_incidence_recorded(
     let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
     let mut measurements = 0usize;
 
+    // Path geometry is frozen for the whole sweep: trace both legs of
+    // the round trip once, pre-steer the AP to every θ₂ candidate once,
+    // and memoize gain lookups per pattern while its steering is fixed
+    // (the path angles never change, so each distinct query computes
+    // once). Each probe below is then pure reweighting — bit-identical
+    // to steering and re-tracing per probe, at a fraction of the cost.
+    let forward = scene.trace_link(ap.position(), reflector.position());
+    let back = scene.trace_link(reflector.position(), ap.position());
+    let ap_table = PatternTable::new(ap.array(), &config.ap_codebook);
+    let ap_patterns: Vec<ArrayPattern<'_>> =
+        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let ap_memos: Vec<MemoPattern<'_>> =
+        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+
     for &theta1 in config.reflector_codebook.beams() {
         reflector.steer_both(theta1);
         cursor += config.beam_command_latency;
-        for &theta2 in config.ap_codebook.beams() {
-            ap.steer_to(theta2);
-            let reflected = round_trip_reflection_dbm(scene, &ap, &reflector)
-                .unwrap_or(f64::NEG_INFINITY);
+        let relay_gain_db = reflector.effective_gain_db();
+        let rx_pattern = ArrayPattern(reflector.rx_array());
+        let tx_pattern = ArrayPattern(reflector.tx_array());
+        let rx_memo = MemoPattern::new(&rx_pattern);
+        let tx_memo = MemoPattern::new(&tx_pattern);
+        for ((theta2, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
+            let reflected = round_trip_reflection_with(
+                &forward,
+                &back,
+                ap_memo,
+                ap.tx_power_dbm(),
+                relay_gain_db,
+                &rx_memo,
+                &tx_memo,
+            )
+            .unwrap_or(f64::NEG_INFINITY);
             let reading = if config.modulated {
                 config
                     .probe
@@ -332,7 +358,7 @@ pub fn estimate_reflection_recorded(
     scene: &Scene,
     ap: &RadioEndpoint,
     mut reflector: MovrReflector,
-    mut headset: RadioEndpoint,
+    headset: RadioEndpoint,
     sweep: &SweepParams<'_>,
     rng: &mut SimRng,
     cap: Capture<'_>,
@@ -354,6 +380,21 @@ pub fn estimate_reflection_recorded(
     let mut measurements = 0usize;
     let snr_sigma_db = 0.5;
 
+    // Geometry is frozen for the sweep: trace both relay hops once,
+    // pre-steer the headset to every candidate once, and memoize gain
+    // queries per pattern while its steering is fixed (AP and headset
+    // candidates for the whole sweep; the reflector's beams per TX
+    // candidate).
+    let hop1 = scene.trace_link(ap.position(), reflector.position());
+    let hop2 = scene.trace_link(reflector.position(), headset.position());
+    let hs_table = PatternTable::new(headset.array(), headset_codebook);
+    let ap_pattern = ArrayPattern(ap.array());
+    let ap_memo = MemoPattern::new(&ap_pattern);
+    let hs_patterns: Vec<ArrayPattern<'_>> =
+        hs_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let hs_memos: Vec<MemoPattern<'_>> =
+        hs_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+
     for &tx_deg in tx_codebook.beams() {
         reflector.steer_tx(tx_deg);
         cursor += config.beam_command_latency;
@@ -366,9 +407,21 @@ pub fn estimate_reflection_recorded(
             cursor,
             rec,
         );
-        for &rx_deg in headset_codebook.beams() {
-            headset.steer_to(rx_deg);
-            let budget = relay_link(scene, ap, &reflector, &headset);
+        let rx_pattern = ArrayPattern(reflector.rx_array());
+        let tx_pattern = ArrayPattern(reflector.tx_array());
+        let rx_memo = MemoPattern::new(&rx_pattern);
+        let tx_memo = MemoPattern::new(&tx_pattern);
+        for ((rx_deg, _), hs_memo) in hs_table.entries().zip(&hs_memos) {
+            let budget = relay_link_with(
+                &hop1,
+                &hop2,
+                &ap_memo,
+                ap.tx_power_dbm(),
+                &reflector,
+                &rx_memo,
+                &tx_memo,
+                hs_memo,
+            );
             let reported = budget.end_snr_db + rng.normal(0.0, snr_sigma_db);
             measurements += 1;
             cursor += config.dwell;

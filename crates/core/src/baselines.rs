@@ -10,9 +10,9 @@
 //!   approaches), and Figs. 3 and 9 show it is not enough for VR.
 
 use movr_math::wrap_deg_180;
-use movr_phased_array::Codebook;
-use movr_radio::{evaluate_link, RadioEndpoint};
-use movr_rfsim::Scene;
+use movr_phased_array::{Codebook, PatternTable};
+use movr_radio::{evaluate_link, ArrayPattern, RadioEndpoint};
+use movr_rfsim::{MemoPattern, Scene};
 
 /// Steers both endpoints at each other and returns the resulting SNR (dB)
 /// through the scene's current obstacle set.
@@ -51,8 +51,6 @@ pub fn opt_nlos(
     let direct_ap = ap.position().bearing_deg_to(headset.position());
     let direct_hs = headset.position().bearing_deg_to(ap.position());
 
-    let mut ap_sw = *ap;
-    let mut hs_sw = *headset;
     let mut best = NlosResult {
         snr_db: f64::NEG_INFINITY,
         ap_deg: direct_ap,
@@ -60,17 +58,34 @@ pub fn opt_nlos(
         combinations: 0,
     };
 
-    for &a in ap_codebook.beams() {
-        ap_sw.steer_to(a);
+    // One trace and two pre-steered tables cover the whole search; each
+    // combination below is a pure reweighting, bit-identical to steering
+    // live endpoints through `evaluate_link`. Gain queries hit the same
+    // fixed path angles for every combination, so each candidate pattern
+    // is memoized for the duration of the search.
+    let link = scene.trace_link(ap.position(), headset.position());
+    let ap_table = PatternTable::new(ap.array(), ap_codebook);
+    let hs_table = PatternTable::new(headset.array(), headset_codebook);
+    let ap_patterns: Vec<ArrayPattern<'_>> =
+        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let ap_memos: Vec<MemoPattern<'_>> =
+        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+    let hs_patterns: Vec<ArrayPattern<'_>> =
+        hs_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let hs_memos: Vec<MemoPattern<'_>> =
+        hs_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+
+    for ((a, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
         let ap_is_direct = wrap_deg_180(a - direct_ap).abs() <= exclude_cone_deg;
-        for &h in headset_codebook.beams() {
+        for ((h, _), hs_memo) in hs_table.entries().zip(&hs_memos) {
             let hs_is_direct = wrap_deg_180(h - direct_hs).abs() <= exclude_cone_deg;
             if ap_is_direct && hs_is_direct {
                 continue;
             }
-            hs_sw.steer_to(h);
             best.combinations += 1;
-            let snr = evaluate_link(scene, &ap_sw, &hs_sw).snr_db;
+            let snr = link
+                .evaluate(ap_memo, ap.tx_power_dbm(), hs_memo)
+                .snr_db;
             if snr > best.snr_db {
                 best.snr_db = snr;
                 best.ap_deg = a;

@@ -65,5 +65,8 @@ pub mod tracking;
 pub use alignment::{AlignmentConfig, AlignmentResult};
 pub use gain_control::{GainControlConfig, GainControlResult};
 pub use reflector::MovrReflector;
-pub use relay::relay_link;
+pub use relay::{
+    relay_link, relay_link_on, relay_link_with, round_trip_reflection_dbm,
+    round_trip_reflection_on, round_trip_reflection_with, RelayBudget,
+};
 pub use system::{LinkDecision, LinkMode, MovrSystem, SystemConfig};

@@ -14,8 +14,9 @@
 //!   an amplify-and-forward relay.
 
 use crate::reflector::MovrReflector;
+use movr_phased_array::SteeredArray;
 use movr_radio::{ArrayPattern, RadioEndpoint};
-use movr_rfsim::{NoiseModel, Scene};
+use movr_rfsim::{NoiseModel, Pattern, Scene, TracedLink};
 
 /// The reflector's analog front end is a low-noise amplifier chain with no
 /// baseband processing: a better noise figure and none of the headset's
@@ -59,42 +60,78 @@ pub fn relay_link(
     reflector: &MovrReflector,
     headset: &RadioEndpoint,
 ) -> RelayBudget {
-    let hop1 = scene.link_budget(
-        ap.position(),
+    let hop1 = scene.trace_link(ap.position(), reflector.position());
+    let hop2 = scene.trace_link(reflector.position(), headset.position());
+    relay_link_on(&hop1, &hop2, ap, reflector, headset.array())
+}
+
+/// [`relay_link`] over already-traced hops: `hop1` must be
+/// AP → reflector and `hop2` reflector → headset in the same scene.
+/// Sweeps trace each hop once and call this per beam candidate, paying
+/// only the O(paths) reweighting; the result is bit-identical to
+/// [`relay_link`].
+pub fn relay_link_on(
+    hop1: &TracedLink<'_>,
+    hop2: &TracedLink<'_>,
+    ap: &RadioEndpoint,
+    reflector: &MovrReflector,
+    headset_array: &SteeredArray,
+) -> RelayBudget {
+    relay_link_with(
+        hop1,
+        hop2,
         &ArrayPattern(ap.array()),
         ap.tx_power_dbm(),
-        reflector.position(),
+        reflector,
         &ArrayPattern(reflector.rx_array()),
-    );
-    let hop1_snr_db = relay_front_end_noise(scene).snr_db(hop1.received_dbm);
+        &ArrayPattern(reflector.tx_array()),
+        &ArrayPattern(headset_array),
+    )
+}
+
+/// [`relay_link_on`] with the four antenna patterns supplied by the
+/// caller. The patterns **must** describe the same steering as the live
+/// endpoints (`ap_pattern` = AP array, `relay_rx`/`relay_tx` = the
+/// reflector's arrays) — the point is that a sweep can wrap each one in
+/// a [`movr_rfsim::MemoPattern`] scoped to where its steering is fixed,
+/// so repeated path-angle queries cost a lookup. Bit-identical to
+/// [`relay_link_on`] for faithful patterns.
+#[allow(clippy::too_many_arguments)] // lint: the four patterns + reflector are the point of this entry
+pub fn relay_link_with(
+    hop1: &TracedLink<'_>,
+    hop2: &TracedLink<'_>,
+    ap_pattern: &dyn Pattern,
+    ap_tx_power_dbm: f64,
+    reflector: &MovrReflector,
+    relay_rx: &dyn Pattern,
+    relay_tx: &dyn Pattern,
+    headset_pattern: &dyn Pattern,
+) -> RelayBudget {
+    let scene = hop1.scene();
+    let hop1_eval = hop1.evaluate(ap_pattern, ap_tx_power_dbm, relay_rx);
+    let hop1_snr_db = relay_front_end_noise(scene).snr_db(hop1_eval.received_dbm);
 
     let saturated = reflector.is_saturated();
     let relay_output_dbm = reflector
         .effective_gain_db()
-        .map(|g| hop1.received_dbm + g);
+        .map(|g| hop1_eval.received_dbm + g);
 
     match relay_output_dbm {
         Some(out_dbm) => {
-            let hop2 = scene.link_budget(
-                reflector.position(),
-                &ArrayPattern(reflector.tx_array()),
-                out_dbm,
-                headset.position(),
-                &ArrayPattern(headset.array()),
-            );
-            let hop2_snr_db = scene.noise().snr_db(hop2.received_dbm);
+            let hop2_eval = hop2.evaluate(relay_tx, out_dbm, headset_pattern);
+            let hop2_snr_db = scene.noise().snr_db(hop2_eval.received_dbm);
             RelayBudget {
-                hop1_received_dbm: hop1.received_dbm,
+                hop1_received_dbm: hop1_eval.received_dbm,
                 hop1_snr_db,
                 relay_output_dbm,
-                hop2_received_dbm: hop2.received_dbm,
+                hop2_received_dbm: hop2_eval.received_dbm,
                 hop2_snr_db,
                 end_snr_db: hop1_snr_db.min(hop2_snr_db),
                 saturated,
             }
         }
         None => RelayBudget {
-            hop1_received_dbm: hop1.received_dbm,
+            hop1_received_dbm: hop1_eval.received_dbm,
             hop1_snr_db,
             relay_output_dbm: None,
             hop2_received_dbm: f64::NEG_INFINITY,
@@ -114,21 +151,52 @@ pub fn round_trip_reflection_dbm(
     ap: &RadioEndpoint,
     reflector: &MovrReflector,
 ) -> Option<f64> {
-    let hop1 = scene.link_budget(
-        ap.position(),
-        &ArrayPattern(ap.array()),
-        ap.tx_power_dbm(),
-        reflector.position(),
+    let forward = scene.trace_link(ap.position(), reflector.position());
+    let back = scene.trace_link(reflector.position(), ap.position());
+    round_trip_reflection_on(&forward, &back, ap.array(), ap.tx_power_dbm(), reflector)
+}
+
+/// [`round_trip_reflection_dbm`] over already-traced hops: `forward`
+/// must be AP → reflector and `back` reflector → AP in the same scene.
+/// `ap_array` is the AP's current (possibly pre-steered) array, used on
+/// both ends of the round trip. Bit-identical to the plain form; the
+/// alignment sweep calls this 10,201 times over two fixed traces.
+pub fn round_trip_reflection_on(
+    forward: &TracedLink<'_>,
+    back: &TracedLink<'_>,
+    ap_array: &SteeredArray,
+    ap_tx_power_dbm: f64,
+    reflector: &MovrReflector,
+) -> Option<f64> {
+    round_trip_reflection_with(
+        forward,
+        back,
+        &ArrayPattern(ap_array),
+        ap_tx_power_dbm,
+        reflector.effective_gain_db(),
         &ArrayPattern(reflector.rx_array()),
-    );
-    let out_dbm = hop1.received_dbm + reflector.effective_gain_db()?;
-    let hop2 = scene.link_budget(
-        reflector.position(),
         &ArrayPattern(reflector.tx_array()),
-        out_dbm,
-        ap.position(),
-        &ArrayPattern(ap.array()),
-    );
+    )
+}
+
+/// [`round_trip_reflection_on`] with the patterns (and the reflector's
+/// effective gain) supplied by the caller, so a sweep can memoize gain
+/// queries per candidate beam ([`movr_rfsim::MemoPattern`]) and hoist
+/// the per-posture gain computation out of its inner loop. The patterns
+/// must describe the same steering as the live devices; the result is
+/// then bit-identical to [`round_trip_reflection_on`].
+pub fn round_trip_reflection_with(
+    forward: &TracedLink<'_>,
+    back: &TracedLink<'_>,
+    ap_pattern: &dyn Pattern,
+    ap_tx_power_dbm: f64,
+    relay_gain_db: Option<f64>,
+    relay_rx: &dyn Pattern,
+    relay_tx: &dyn Pattern,
+) -> Option<f64> {
+    let hop1 = forward.evaluate(ap_pattern, ap_tx_power_dbm, relay_rx);
+    let out_dbm = hop1.received_dbm + relay_gain_db?;
+    let hop2 = back.evaluate(relay_tx, out_dbm, ap_pattern);
     Some(hop2.received_dbm)
 }
 

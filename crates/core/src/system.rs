@@ -19,7 +19,7 @@
 
 use crate::gain_control::{run_gain_control, run_gain_control_recorded, GainControlConfig};
 use crate::reflector::MovrReflector;
-use crate::relay::{relay_link, RelayBudget};
+use crate::relay::{relay_link, relay_link_on, RelayBudget};
 use movr_math::{wrap_deg_180, Vec2};
 use movr_motion::{LighthouseTracker, WorldState};
 use movr_obs::{NullRecorder, Recorder};
@@ -316,6 +316,16 @@ impl MovrSystem {
             hs.steer_toward(self.reflectors[i].position());
             self.reflectors[i].steer_rx(self.incidence_deg[i]);
 
+            // Geometry is frozen for this evaluation (the scene was
+            // synced above), so trace both relay hops once; the initial
+            // budget and any degraded-beam re-run below only reweight.
+            let hop1 = self
+                .scene
+                .trace_link(ap_r.position(), self.reflectors[i].position());
+            let hop2 = self
+                .scene
+                .trace_link(self.reflectors[i].position(), hs.position());
+
             let ideal_tx = self.reflectors[i]
                 .position()
                 .bearing_deg_to(tracked.receiver_position());
@@ -371,7 +381,7 @@ impl MovrSystem {
                 now,
                 rec,
             );
-            let mut budget = relay_link(&self.scene, &ap_r, &self.reflectors[i], &hs);
+            let mut budget = relay_link_on(&hop1, &hop2, &ap_r, &self.reflectors[i], hs.array());
 
             if !self.config.use_tracking
                 && budget.end_snr_db < self.config.snr_switch_threshold_db
@@ -385,7 +395,7 @@ impl MovrSystem {
                     now,
                     rec,
                 );
-                budget = relay_link(&self.scene, &ap_r, &self.reflectors[i], &hs);
+                budget = relay_link_on(&hop1, &hop2, &ap_r, &self.reflectors[i], hs.array());
                 realigned = true;
                 cost = self.sweep_realignment_cost();
             }

@@ -15,13 +15,78 @@
 use crate::element::PatchElement;
 use crate::shifter::PhaseShifter;
 use crate::taper::Taper;
-use movr_math::{amplitude_to_db, linear_to_db, wrap_deg_180, C64};
+use movr_math::{amplitude_to_db, convert, linear_to_db, wrap_deg_180, C64};
 use std::f64::consts::PI;
 
 /// Electronic beam-steering settle time, seconds. The paper (§6) notes the
 /// analog phase shifters driven by a high-speed DAC reconfigure in
 /// sub-microsecond time frames.
 pub const STEERING_LATENCY_S: f64 = 0.5e-6;
+
+/// Hard cap on array size so a precomputed [`SteeringVector`] fits in
+/// fixed (`Copy`) storage. The paper's prototype uses 10 elements; 32
+/// leaves ample room for ablations.
+pub const MAX_ELEMENTS: usize = 32;
+
+/// The per-element state of one steering command, precomputed:
+/// DAC-quantised applied phases, taper weights, and the aperture
+/// directivity term. These depend only on the steer command, not the
+/// observation angle, so a beam sweep computes them once and every
+/// subsequent [`SteeringVector::gain_dbi`] query is a single pass over
+/// the elements with no re-quantisation.
+///
+/// Evaluation reproduces [`UniformLinearArray::array_factor`] and
+/// [`UniformLinearArray::gain_dbi`] with the exact same floating-point
+/// operation order, so cached and uncached gains are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct SteeringVector {
+    n: usize,
+    steer_deg: f64,
+    /// Per-element observation phase slope `i·k·d` (radians per sin θ).
+    slope: [f64; MAX_ELEMENTS],
+    /// Per-element applied (DAC-quantised) phase, radians.
+    applied_rad: [f64; MAX_ELEMENTS],
+    /// Per-element taper weight.
+    weight: [f64; MAX_ELEMENTS],
+    weight_sum: f64,
+    /// `10·log10(n × taper efficiency)`, the aperture directivity term.
+    directivity_db: f64,
+    element: PatchElement,
+}
+
+impl SteeringVector {
+    /// The steer command this vector was computed for, degrees off
+    /// broadside.
+    pub fn steer_deg(&self) -> f64 {
+        self.steer_deg
+    }
+
+    /// Normalised complex array factor at `theta_deg` off broadside.
+    /// Bit-identical to [`UniformLinearArray::array_factor`] at the
+    /// cached steer command.
+    pub fn array_factor(&self, theta_deg: f64) -> C64 {
+        let sin_t = theta_deg.to_radians().sin();
+        let mut sum = C64::ZERO;
+        for i in 0..self.n {
+            let phase = self.slope[i] * sin_t + self.applied_rad[i];
+            sum += C64::exp_j(phase) * self.weight[i];
+        }
+        sum / self.weight_sum
+    }
+
+    /// Total array gain (dBi) toward `theta_deg` off broadside.
+    /// Bit-identical to [`UniformLinearArray::gain_dbi`] at the cached
+    /// steer command.
+    pub fn gain_dbi(&self, theta_deg: f64) -> f64 {
+        let theta = wrap_deg_180(theta_deg);
+        if theta.abs() >= 90.0 {
+            // Behind the ground plane: element back lobe only.
+            return self.element.gain_dbi(theta);
+        }
+        let af = self.array_factor(theta).abs();
+        self.directivity_db + self.element.gain_dbi(theta) + amplitude_to_db(af)
+    }
+}
 
 /// An N-element uniform linear array of patch elements.
 #[derive(Debug, Clone, Copy)]
@@ -45,6 +110,10 @@ impl UniformLinearArray {
         shifter: PhaseShifter,
     ) -> Self {
         assert!(n >= 1, "array needs at least one element");
+        assert!(
+            n <= MAX_ELEMENTS,
+            "array capped at {MAX_ELEMENTS} elements"
+        );
         assert!(spacing_wavelengths > 0.0, "element spacing must be positive");
         UniformLinearArray {
             n,
@@ -87,40 +156,54 @@ impl UniformLinearArray {
         &self.shifter
     }
 
+    /// Precomputes the per-element state for one steer command: the
+    /// DAC-quantised applied phases, taper weights, and the aperture
+    /// directivity term. This is the expensive part of a gain query;
+    /// sweeps compute it once per beam and reuse it per observation.
+    pub fn steering_vector(&self, steer_deg: f64) -> SteeringVector {
+        let kd = 2.0 * PI * self.spacing_wavelengths;
+        let sin_s = steer_deg.to_radians().sin();
+        let mut slope = [0.0; MAX_ELEMENTS];
+        let mut applied_rad = [0.0; MAX_ELEMENTS];
+        let mut weight = [0.0; MAX_ELEMENTS];
+        let mut weight_sum = 0.0;
+        for i in 0..self.n {
+            let fi = convert::usize_to_f64(i);
+            // Commanded per-element phase, quantised by the control DAC.
+            let ideal_deg = (-fi * kd * sin_s).to_degrees();
+            let applied_deg = self.shifter.apply(ideal_deg);
+            slope[i] = fi * kd;
+            applied_rad[i] = applied_deg.to_radians();
+            let w = self.taper.weight(i, self.n);
+            weight[i] = w;
+            weight_sum += w;
+        }
+        SteeringVector {
+            n: self.n,
+            steer_deg,
+            slope,
+            applied_rad,
+            weight,
+            weight_sum,
+            // Directivity of a tapered aperture: n × taper efficiency.
+            directivity_db: linear_to_db(
+                convert::usize_to_f64(self.n) * self.taper.efficiency(self.n),
+            ),
+            element: self.element,
+        }
+    }
+
     /// Normalised complex array factor at `theta_deg` off broadside when
     /// steered to `steer_deg` off broadside. |AF| ≤ 1, = 1 at the steered
     /// angle with ideal (unquantised) phases.
     pub fn array_factor(&self, steer_deg: f64, theta_deg: f64) -> C64 {
-        let kd = 2.0 * PI * self.spacing_wavelengths;
-        let sin_t = theta_deg.to_radians().sin();
-        let sin_s = steer_deg.to_radians().sin();
-        let mut sum = C64::ZERO;
-        let mut weight_sum = 0.0;
-        for i in 0..self.n {
-            // Commanded per-element phase, quantised by the control DAC.
-            let ideal_deg = (-(i as f64) * kd * sin_s).to_degrees();
-            let applied_deg = self.shifter.apply(ideal_deg);
-            let phase = i as f64 * kd * sin_t + applied_deg.to_radians();
-            let w = self.taper.weight(i, self.n);
-            sum += C64::exp_j(phase) * w;
-            weight_sum += w;
-        }
-        sum / weight_sum
+        self.steering_vector(steer_deg).array_factor(theta_deg)
     }
 
     /// Total array gain (dBi) toward `theta_deg` off broadside when
     /// steered to `steer_deg` off broadside.
     pub fn gain_dbi(&self, steer_deg: f64, theta_deg: f64) -> f64 {
-        let theta = wrap_deg_180(theta_deg);
-        if theta.abs() >= 90.0 {
-            // Behind the ground plane: element back lobe only.
-            return self.element.gain_dbi(theta);
-        }
-        let af = self.array_factor(steer_deg, theta).abs();
-        // Directivity of a tapered aperture: n × taper efficiency.
-        linear_to_db(self.n as f64 * self.taper.efficiency(self.n))
-            + self.element.gain_dbi(theta)
-            + amplitude_to_db(af)
+        self.steering_vector(steer_deg).gain_dbi(theta_deg)
     }
 
     /// Peak gain (dBi) when steered to `steer_deg`: the gain toward the
@@ -130,20 +213,48 @@ impl UniformLinearArray {
     }
 
     /// Measures the half-power (−3 dB) beamwidth around a steering angle
-    /// by scanning the pattern at 0.05° resolution.
+    /// by bisecting the −3 dB crossing on each flank of the main lobe
+    /// (monotone off-peak), reusing one cached steering vector for every
+    /// probe.
     pub fn half_power_beamwidth_deg(&self, steer_deg: f64) -> f64 {
-        let peak = self.gain_dbi(steer_deg, steer_deg);
+        let sv = self.steering_vector(steer_deg);
+        let peak = sv.gain_dbi(steer_deg);
         let target = peak - 3.0;
-        let step = 0.05;
-        let mut upper = steer_deg;
-        while upper < steer_deg + 90.0 && self.gain_dbi(steer_deg, upper) > target {
-            upper += step;
+        let upper = hpbw_flank_offset(&sv, steer_deg, target, 1.0);
+        let lower = hpbw_flank_offset(&sv, steer_deg, target, -1.0);
+        upper + lower
+    }
+}
+
+/// Offset (degrees, ≥ 0) from the steer angle to the −3 dB crossing on
+/// one flank (`dir` = ±1). A coarse 0.5° march brackets the first
+/// crossing (the narrowest lobe of a [`MAX_ELEMENTS`]-element array is
+/// several degrees wide), then bisection refines it well below the old
+/// 0.05° scan resolution.
+fn hpbw_flank_offset(sv: &SteeringVector, steer_deg: f64, target_db: f64, dir: f64) -> f64 {
+    const COARSE_STEP: f64 = 0.5;
+    let mut off = 0.0;
+    loop {
+        let next = off + COARSE_STEP;
+        if next >= 90.0 {
+            // Never dipped 3 dB below the peak inside the hemisphere
+            // (pathologically wide pattern): report the scan bound, as
+            // the linear scan did.
+            return 90.0;
         }
-        let mut lower = steer_deg;
-        while lower > steer_deg - 90.0 && self.gain_dbi(steer_deg, lower) > target {
-            lower -= step;
+        if sv.gain_dbi(steer_deg + dir * next) <= target_db {
+            let (mut lo, mut hi) = (off, next);
+            for _ in 0..40 {
+                let mid = 0.5 * (lo + hi);
+                if sv.gain_dbi(steer_deg + dir * mid) > target_db {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            return 0.5 * (lo + hi);
         }
-        upper - lower
+        off = next;
     }
 }
 
@@ -170,6 +281,10 @@ pub struct SteeredArray {
     boresight_deg: f64,
     steer_local_deg: f64,
     max_steer_deg: f64,
+    /// Precomputed per-element state for the current steer command, so
+    /// repeated gain queries (every path of every link evaluation) skip
+    /// the DAC re-quantisation. Rebuilt on every steering change.
+    vector: SteeringVector,
 }
 
 impl SteeredArray {
@@ -184,6 +299,7 @@ impl SteeredArray {
             // limit, and it is modelled, so the hard clamp sits out at
             // the edge of usefulness rather than artificially tight.
             max_steer_deg: 70.0,
+            vector: array.steering_vector(0.0),
         }
     }
 
@@ -212,11 +328,23 @@ impl SteeredArray {
         wrap_deg_180(self.boresight_deg + self.steer_local_deg)
     }
 
+    /// Current steering in local (off-broadside) terms, degrees. This is
+    /// the clamped command the phase shifters actually hold.
+    pub fn steer_local_deg(&self) -> f64 {
+        self.steer_local_deg
+    }
+
+    /// The precomputed steering vector for the current command.
+    pub fn steering_vector(&self) -> &SteeringVector {
+        &self.vector
+    }
+
     /// Steers the beam toward an absolute room bearing. The command is
     /// clamped to the scan range; returns the bearing actually applied.
     pub fn steer_to(&mut self, absolute_deg: f64) -> f64 {
         let local = wrap_deg_180(absolute_deg - self.boresight_deg);
         self.steer_local_deg = local.clamp(-self.max_steer_deg, self.max_steer_deg);
+        self.vector = self.array.steering_vector(self.steer_local_deg);
         self.steering_deg()
     }
 
@@ -226,16 +354,141 @@ impl SteeredArray {
     }
 
     /// Gain (dBi) toward an absolute room bearing under the current
-    /// steering.
+    /// steering. A single pass over the cached steering vector —
+    /// bit-identical to `array().gain_dbi(steer_local_deg(), local)`.
     pub fn gain_dbi(&self, absolute_deg: f64) -> f64 {
         let local = wrap_deg_180(absolute_deg - self.boresight_deg);
-        self.array.gain_dbi(self.steer_local_deg, local)
+        self.vector.gain_dbi(local)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-cache implementations, kept verbatim as the reference the
+    /// steering-vector fast path must reproduce bit-for-bit.
+    fn reference_array_factor(arr: &UniformLinearArray, steer_deg: f64, theta_deg: f64) -> C64 {
+        let kd = 2.0 * PI * arr.spacing_wavelengths;
+        let sin_t = theta_deg.to_radians().sin();
+        let sin_s = steer_deg.to_radians().sin();
+        let mut sum = C64::ZERO;
+        let mut weight_sum = 0.0;
+        for i in 0..arr.n {
+            let ideal_deg = (-convert::usize_to_f64(i) * kd * sin_s).to_degrees();
+            let applied_deg = arr.shifter.apply(ideal_deg);
+            let phase = convert::usize_to_f64(i) * kd * sin_t + applied_deg.to_radians();
+            let w = arr.taper.weight(i, arr.n);
+            sum += C64::exp_j(phase) * w;
+            weight_sum += w;
+        }
+        sum / weight_sum
+    }
+
+    fn reference_gain_dbi(arr: &UniformLinearArray, steer_deg: f64, theta_deg: f64) -> f64 {
+        let theta = wrap_deg_180(theta_deg);
+        if theta.abs() >= 90.0 {
+            return arr.element.gain_dbi(theta);
+        }
+        let af = reference_array_factor(arr, steer_deg, theta).abs();
+        linear_to_db(convert::usize_to_f64(arr.n) * arr.taper.efficiency(arr.n))
+            + arr.element.gain_dbi(theta)
+            + amplitude_to_db(af)
+    }
+
+    /// The old 0.05°-step linear beamwidth scan, kept as the reference
+    /// the bisection must agree with to within one step per flank.
+    fn reference_beamwidth_deg(arr: &UniformLinearArray, steer_deg: f64) -> f64 {
+        let peak = reference_gain_dbi(arr, steer_deg, steer_deg);
+        let target = peak - 3.0;
+        let step = 0.05;
+        let mut upper = steer_deg;
+        while upper < steer_deg + 90.0 && reference_gain_dbi(arr, steer_deg, upper) > target {
+            upper += step;
+        }
+        let mut lower = steer_deg;
+        while lower > steer_deg - 90.0 && reference_gain_dbi(arr, steer_deg, lower) > target {
+            lower -= step;
+        }
+        upper - lower
+    }
+
+    #[test]
+    fn steering_vector_is_bit_identical_to_reference() {
+        let arrays = [
+            UniformLinearArray::paper_array(),
+            UniformLinearArray::paper_array().with_taper(Taper::RaisedCosine { pedestal: 0.3 }),
+            UniformLinearArray::new(32, 0.5, PatchElement::default(), PhaseShifter::with_bits(4)),
+        ];
+        for arr in &arrays {
+            for steer in [-61.3, -30.0, 0.0, 17.7, 45.0, 70.0] {
+                let sv = arr.steering_vector(steer);
+                let mut theta = -180.0;
+                while theta <= 180.0 {
+                    let a = sv.array_factor(theta);
+                    let b = reference_array_factor(arr, steer, theta);
+                    assert_eq!(a.re, b.re, "steer={steer} theta={theta}");
+                    assert_eq!(a.im, b.im, "steer={steer} theta={theta}");
+                    assert_eq!(
+                        sv.gain_dbi(theta),
+                        reference_gain_dbi(arr, steer, theta),
+                        "steer={steer} theta={theta}"
+                    );
+                    theta += 3.7;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steered_array_gain_rides_the_cached_vector() {
+        let mut sa = SteeredArray::paper_array(90.0);
+        sa.steer_to(117.0);
+        let mut abs = -180.0;
+        while abs <= 180.0 {
+            let local = wrap_deg_180(abs - sa.boresight_deg());
+            assert_eq!(
+                sa.gain_dbi(abs),
+                reference_gain_dbi(sa.array(), sa.steer_local_deg(), local),
+                "abs={abs}"
+            );
+            abs += 4.3;
+        }
+    }
+
+    #[test]
+    fn bisected_beamwidth_matches_linear_scan_within_one_step() {
+        let arrays = [
+            UniformLinearArray::paper_array(),
+            UniformLinearArray::paper_array().with_taper(Taper::RaisedCosine { pedestal: 0.3 }),
+            UniformLinearArray::new(6, 0.5, PatchElement::default(), PhaseShifter::default()),
+            UniformLinearArray::new(20, 0.5, PatchElement::default(), PhaseShifter::default()),
+        ];
+        for arr in &arrays {
+            for steer in [-40.0, 0.0, 25.0] {
+                let new = arr.half_power_beamwidth_deg(steer);
+                let old = reference_beamwidth_deg(arr, steer);
+                // The scan overshoots each flank by at most one 0.05°
+                // step; bisection lands on the true crossing.
+                assert!(
+                    (new - old).abs() <= 0.1 + 1e-9,
+                    "n={} steer={steer}: bisected {new} vs scanned {old}",
+                    arr.elements()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at")]
+    fn oversized_array_rejected() {
+        UniformLinearArray::new(
+            MAX_ELEMENTS + 1,
+            0.5,
+            PatchElement::default(),
+            PhaseShifter::default(),
+        );
+    }
 
     #[test]
     fn broadside_peak_gain() {

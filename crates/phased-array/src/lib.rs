@@ -9,6 +9,7 @@
 //! * [`shifter`] — phase shifters, including control-DAC quantisation.
 //! * [`array`](mod@array) — the uniform linear array: array factor, steering, gain.
 //! * [`codebook`] — finite beam books for sweep protocols.
+//! * [`table`] — pre-steered pattern tables at codebook resolution.
 //!
 //! A 10-element λ/2 array reproduces the paper's ~10° half-power beamwidth.
 //! The model is planar (azimuth only), matching the paper's evaluation
@@ -19,10 +20,12 @@ pub mod array;
 pub mod codebook;
 pub mod element;
 pub mod shifter;
+pub mod table;
 pub mod taper;
 
-pub use array::{SteeredArray, UniformLinearArray};
+pub use array::{SteeredArray, SteeringVector, UniformLinearArray, MAX_ELEMENTS};
 pub use codebook::Codebook;
+pub use table::PatternTable;
 pub use element::PatchElement;
 pub use shifter::PhaseShifter;
 pub use taper::Taper;

@@ -1,0 +1,108 @@
+//! Codebook-resolution pattern tables.
+//!
+//! A beam sweep steers the same array to every codebook entry, over and
+//! over (each alignment round, each probe). [`PatternTable`] performs
+//! the steer — and therefore the DAC quantisation — once per beam up
+//! front, storing a fully-steered [`SteeredArray`] copy per entry. Each
+//! stored copy carries its own cached steering vector, so a sweep's
+//! inner loop is pure gain lookups.
+
+use crate::array::SteeredArray;
+use crate::codebook::Codebook;
+
+/// Pre-steered array states, one per codebook beam.
+#[derive(Debug, Clone)]
+pub struct PatternTable {
+    beams: Vec<f64>,
+    arrays: Vec<SteeredArray>,
+}
+
+impl PatternTable {
+    /// Steers a copy of `base` to every beam of `codebook` (commands are
+    /// clamped exactly as [`SteeredArray::steer_to`] clamps them) and
+    /// stores the results. `base` itself is not modified.
+    pub fn new(base: &SteeredArray, codebook: &Codebook) -> Self {
+        let mut beams = Vec::with_capacity(codebook.len());
+        let mut arrays = Vec::with_capacity(codebook.len());
+        for &beam in codebook.beams() {
+            let mut steered = *base;
+            steered.steer_to(beam);
+            beams.push(beam);
+            arrays.push(steered);
+        }
+        PatternTable { beams, arrays }
+    }
+
+    /// Number of entries (== codebook length).
+    pub fn len(&self) -> usize {
+        self.beams.len()
+    }
+
+    /// True if the codebook was empty.
+    pub fn is_empty(&self) -> bool {
+        self.beams.is_empty()
+    }
+
+    /// Iterates `(commanded beam, pre-steered array)` in codebook order.
+    /// The commanded beam is the codebook value, which may differ from
+    /// the applied steering if the command was clamped.
+    pub fn entries(&self) -> impl Iterator<Item = (f64, &SteeredArray)> {
+        self.beams.iter().copied().zip(self.arrays.iter())
+    }
+
+    /// The commanded beam of entry `i` (codebook value, degrees).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn beam_deg(&self, i: usize) -> f64 {
+        self.beams[i]
+    }
+
+    /// The pre-steered array of entry `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn array(&self, i: usize) -> &SteeredArray {
+        &self.arrays[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_sequential_steering() {
+        let base = SteeredArray::paper_array(90.0);
+        let codebook = Codebook::sweep(40.0, 140.0, 10.0);
+        let table = PatternTable::new(&base, &codebook);
+        assert_eq!(table.len(), codebook.len());
+        let mut live = base;
+        for (beam, steered) in table.entries() {
+            live.steer_to(beam);
+            assert_eq!(live.steering_deg(), steered.steering_deg());
+            for theta in [40.0, 77.0, 90.0, 120.5, 140.0, 200.0] {
+                assert_eq!(live.gain_dbi(theta), steered.gain_dbi(theta), "beam={beam}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_is_untouched_and_commands_recorded_unclamped() {
+        let base = SteeredArray::paper_array(90.0);
+        // 200° is outside the scan range and gets clamped when applied.
+        let codebook = Codebook::from_beams(vec![200.0]);
+        let table = PatternTable::new(&base, &codebook);
+        assert_eq!(base.steering_deg(), 90.0);
+        assert_eq!(table.beam_deg(0), 200.0);
+        assert!((table.array(0).steering_deg() - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_beam_table() {
+        let base = SteeredArray::paper_array(0.0);
+        let table = PatternTable::new(&base, &Codebook::from_beams(vec![10.0]));
+        assert!(!table.is_empty());
+        assert_eq!(table.entries().count(), 1);
+    }
+}

@@ -95,7 +95,7 @@ mod tests {
     fn los_path(len: f64) -> Path {
         Path {
             kind: PathKind::LineOfSight,
-            vertices: vec![Vec2::ZERO, Vec2::new(len, 0.0)],
+            vertices: [Vec2::ZERO, Vec2::new(len, 0.0)].into(),
             length_m: len,
             departure_deg: 0.0,
             arrival_deg: 180.0,

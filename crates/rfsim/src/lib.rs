@@ -23,6 +23,7 @@
 //! through the [`Pattern`] trait so higher layers can plug in anything from
 //! an isotropic probe to a steered array.
 
+pub mod cache;
 pub mod channel;
 pub mod geometry;
 pub mod material;
@@ -33,14 +34,15 @@ pub mod raytrace;
 pub mod scene;
 pub mod wideband;
 
+pub use cache::{LinkCache, TracedLink};
 pub use channel::{Channel, PathGain};
 pub use geometry::{Room, Segment, Surface, Wall};
 pub use material::Material;
 pub use noise::NoiseModel;
 pub use obstacle::{BodyPart, Obstacle};
-pub use pattern::{IsotropicPattern, Pattern, SectorPattern};
-pub use raytrace::{trace_paths, Path, PathKind, TraceConfig};
-pub use scene::{LinkBudget, Scene};
+pub use pattern::{IsotropicPattern, MemoPattern, Pattern, SectorPattern};
+pub use raytrace::{trace_paths, Path, PathKind, TraceConfig, Vertices, MAX_PATH_VERTICES};
+pub use scene::{LinkBudget, LinkEval, Scene};
 pub use wideband::{wideband_snr_db, WidebandBudget};
 
 /// Speed of light in vacuum (m/s).

@@ -31,13 +31,79 @@ pub enum PathKind {
     },
 }
 
+/// The maximum number of vertices a traced path can have: TX, up to two
+/// bounces, RX.
+pub const MAX_PATH_VERTICES: usize = 4;
+
+/// A path's vertex chain, stored inline (no heap allocation) since the
+/// tracer emits at most [`MAX_PATH_VERTICES`] points per path. Derefs to
+/// `&[Vec2]`, so slice methods (`len`, `windows`, indexing, iteration)
+/// work unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertices {
+    buf: [Vec2; MAX_PATH_VERTICES],
+    len: u8,
+}
+
+impl Vertices {
+    /// The vertices as a slice, `[tx, bounce…, rx]`.
+    pub fn as_slice(&self) -> &[Vec2] {
+        &self.buf[..usize::from(self.len)]
+    }
+}
+
+impl std::ops::Deref for Vertices {
+    type Target = [Vec2];
+
+    fn deref(&self) -> &[Vec2] {
+        self.as_slice()
+    }
+}
+
+impl From<[Vec2; 2]> for Vertices {
+    fn from(v: [Vec2; 2]) -> Self {
+        Vertices {
+            buf: [v[0], v[1], Vec2::ZERO, Vec2::ZERO],
+            len: 2,
+        }
+    }
+}
+
+impl From<[Vec2; 3]> for Vertices {
+    fn from(v: [Vec2; 3]) -> Self {
+        Vertices {
+            buf: [v[0], v[1], v[2], Vec2::ZERO],
+            len: 3,
+        }
+    }
+}
+
+impl From<[Vec2; 4]> for Vertices {
+    fn from(v: [Vec2; 4]) -> Self {
+        Vertices { buf: v, len: 4 }
+    }
+}
+
+impl<'a> IntoIterator for &'a Vertices {
+    type Item = &'a Vec2;
+    type IntoIter = std::slice::Iter<'a, Vec2>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One propagation path between a transmitter and a receiver.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is exact (bitwise on every float field) — equality means
+/// "the very same traced path", which is what cache-consistency checks
+/// need.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Path {
     /// Whether this is the LoS path or a reflection (and its order).
     pub kind: PathKind,
     /// Geometry: `[tx, bounce…, rx]`.
-    pub vertices: Vec<Vec2>,
+    pub vertices: Vertices,
     /// Total geometric length, metres.
     pub length_m: f64,
     /// Bearing (degrees) of the first segment leaving the TX — where the
@@ -115,7 +181,13 @@ pub fn trace_paths(
             && (room.is_convex() || !crosses_any_wall(room.walls(), &p.vertices))
     };
 
-    if let Some(p) = make_path(PathKind::LineOfSight, vec![tx, rx], &[], obstacles, surfaces) {
+    if let Some(p) = make_path(
+        PathKind::LineOfSight,
+        [tx, rx].into(),
+        &[],
+        obstacles,
+        surfaces,
+    ) {
         if admissible(&p) {
             paths.push(p);
         }
@@ -195,7 +267,7 @@ fn surface_occlusion_db(surfaces: &[Surface], vertices: &[Vec2]) -> f64 {
 /// Returns `None` for degenerate (zero-length) chains.
 fn make_path(
     kind: PathKind,
-    vertices: Vec<Vec2>,
+    vertices: Vertices,
     bounce_losses_db: &[f64],
     obstacles: &[Obstacle],
     surfaces: &[Surface],
@@ -241,7 +313,7 @@ fn first_order_path(
     let bounce = wall_hit(&wall.segment, image, rx)?;
     make_path(
         PathKind::Reflected { order: 1 },
-        vec![tx, bounce, rx],
+        [tx, bounce, rx].into(),
         &[wall.material.reflection_loss_db()],
         obstacles,
         surfaces,
@@ -268,7 +340,7 @@ fn surface_path(
     }
     make_path(
         PathKind::Reflected { order: 1 },
-        vec![tx, bounce, rx],
+        [tx, bounce, rx].into(),
         &[surface.material.reflection_loss_db()],
         obstacles,
         surfaces,
@@ -299,7 +371,7 @@ fn second_order_path(
     }
     make_path(
         PathKind::Reflected { order: 2 },
-        vec![tx, b1, b2, rx],
+        [tx, b1, b2, rx].into(),
         &[
             wa.material.reflection_loss_db(),
             wb.material.reflection_loss_db(),

@@ -4,6 +4,7 @@
 //! transmitter and a receiver, hand over their antenna patterns, and get a
 //! [`LinkBudget`] back — received power, SNR, and the path breakdown.
 
+use crate::cache::TracedLink;
 use crate::channel::Channel;
 use crate::geometry::Room;
 use crate::noise::NoiseModel;
@@ -11,6 +12,17 @@ use crate::obstacle::Obstacle;
 use crate::pattern::Pattern;
 use crate::raytrace::{trace_paths, Path, TraceConfig};
 use movr_math::{linear_to_db, Vec2};
+
+/// The cheap half of a link evaluation: received power and SNR for one
+/// weighting of an already-traced path set. [`LinkBudget`] is this plus
+/// the owned path list.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkEval {
+    /// Received signal power, dBm (coherent sum over paths).
+    pub received_dbm: f64,
+    /// SNR at the receiver, dB.
+    pub snr_db: f64,
+}
 
 /// The result of evaluating a link in a scene.
 #[derive(Debug, Clone)]
@@ -43,6 +55,9 @@ pub struct Scene {
     noise: NoiseModel,
     trace: TraceConfig,
     obstacles: Vec<Obstacle>,
+    /// Bumped on every obstacle mutation; lets path caches detect that
+    /// previously-traced geometry is stale.
+    generation: u64,
 }
 
 impl Scene {
@@ -54,6 +69,7 @@ impl Scene {
             noise,
             trace: TraceConfig::default(),
             obstacles: Vec::new(),
+            generation: 0,
         }
     }
 
@@ -105,8 +121,16 @@ impl Scene {
         &self.obstacles
     }
 
+    /// The obstacle epoch: incremented on every obstacle mutation.
+    /// Path caches keyed on (tx, rx, generation) invalidate correctly
+    /// when the hand/head blockers move.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Adds an obstacle, returning its index for later updates.
     pub fn add_obstacle(&mut self, o: Obstacle) -> usize {
+        self.generation += 1;
         self.obstacles.push(o);
         self.obstacles.len() - 1
     }
@@ -116,17 +140,20 @@ impl Scene {
     /// # Panics
     /// Panics if `index` is out of range.
     pub fn move_obstacle(&mut self, index: usize, center: Vec2) {
+        self.generation += 1;
         let o = self.obstacles[index];
         self.obstacles[index] = o.moved_to(center);
     }
 
     /// Removes all obstacles.
     pub fn clear_obstacles(&mut self) {
+        self.generation += 1;
         self.obstacles.clear();
     }
 
     /// Replaces the whole obstacle set (used by motion traces each tick).
     pub fn set_obstacles(&mut self, obstacles: Vec<Obstacle>) {
+        self.generation += 1;
         self.obstacles = obstacles;
     }
 
@@ -134,6 +161,38 @@ impl Scene {
     /// obstacle set.
     pub fn paths_between(&self, tx: Vec2, rx: Vec2) -> Vec<Path> {
         trace_paths(&self.room, &self.obstacles, tx, rx, &self.trace)
+    }
+
+    /// Traces the `tx → rx` link once and returns a [`TracedLink`] whose
+    /// paths can be reweighted cheaply under different antenna patterns.
+    /// The borrow of `self` makes a stale read impossible by construction:
+    /// the scene cannot be mutated while the traced link is alive.
+    pub fn trace_link(&self, tx: Vec2, rx: Vec2) -> TracedLink<'_> {
+        TracedLink::new(self, tx, rx)
+    }
+
+    /// Reweights an already-traced path set under the given patterns and
+    /// transmit power. This is the single evaluation routine shared by
+    /// [`Scene::link_budget`] and the cached forms ([`TracedLink`],
+    /// [`crate::LinkCache`]), so cached and uncached results are
+    /// bit-identical by construction.
+    pub fn eval_paths(
+        &self,
+        paths: &[Path],
+        tx_pattern: &dyn Pattern,
+        tx_power_dbm: f64,
+        rx_pattern: &dyn Pattern,
+    ) -> LinkEval {
+        let combined = self.channel.combined_gain(
+            paths,
+            |deg| tx_pattern.gain_dbi(deg),
+            |deg| rx_pattern.gain_dbi(deg),
+        );
+        let received_dbm = tx_power_dbm + linear_to_db(combined.norm_sq());
+        LinkEval {
+            received_dbm,
+            snr_db: self.noise.snr_db(received_dbm),
+        }
     }
 
     /// Evaluates the full link budget for a transmitter at `tx_pos`
@@ -148,15 +207,10 @@ impl Scene {
         rx_pattern: &dyn Pattern,
     ) -> LinkBudget {
         let paths = self.paths_between(tx_pos, rx_pos);
-        let combined = self.channel.combined_gain(
-            &paths,
-            |deg| tx_pattern.gain_dbi(deg),
-            |deg| rx_pattern.gain_dbi(deg),
-        );
-        let received_dbm = tx_power_dbm + linear_to_db(combined.norm_sq());
+        let eval = self.eval_paths(&paths, tx_pattern, tx_power_dbm, rx_pattern);
         LinkBudget {
-            received_dbm,
-            snr_db: self.noise.snr_db(received_dbm),
+            received_dbm: eval.received_dbm,
+            snr_db: eval.snr_db,
             paths,
         }
     }

@@ -13,8 +13,10 @@
 //! dispatches them itself, so all state lives in ordinary structs with no
 //! interior mutability or `dyn FnOnce` gymnastics.
 
+pub mod par;
 pub mod queue;
 pub mod time;
 
+pub use par::{available_threads, par_map};
 pub use queue::EventQueue;
 pub use time::{Periodic, SimTime};

@@ -1,0 +1,121 @@
+//! Deterministic parallel map over a slice.
+//!
+//! Coverage maps, blockage surveys and Monte Carlo session fleets are
+//! embarrassingly parallel: every item is independent and the output is
+//! just the per-item results in input order. [`par_map`] fans such work
+//! out over scoped threads with a determinism guarantee: the output is
+//! **byte-identical for any thread count**, because
+//!
+//! * the input slice is split into contiguous chunks in order,
+//! * workers never share mutable state (each returns its own `Vec`),
+//! * chunk results are joined in spawn order and concatenated.
+//!
+//! Each item's closure also receives the item's index in the input
+//! slice, so callers that need randomness can fork a deterministic
+//! per-item RNG (e.g. `SimRng::seed_from_u64(base ^ index)`) instead of
+//! sharing a sequence across threads. Zero dependencies: only
+//! `std::thread::scope`.
+
+use std::thread;
+
+/// Number of worker threads worth spawning on this machine (≥ 1).
+pub fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped threads, returning
+/// the results in input order. `f` receives `(index, &item)` where
+/// `index` is the item's position in `items`.
+///
+/// Output is byte-identical for every `threads` value (including 1):
+/// parallelism changes only the wall clock, never the result. A
+/// `threads` of 0 is treated as 1; more threads than items spawns one
+/// thread per item.
+///
+/// # Panics
+/// Panics if any invocation of `f` panics (the panic is propagated).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let f = &f;
+        // Spawn contiguous chunks in order...
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(j, t)| f(base + j, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        // ...and join in spawn order, so concatenation restores input
+        // order regardless of which worker finished first.
+        for handle in handles {
+            out.extend(handle.join().expect("par_map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_for_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761) >> 7).collect();
+        for threads in [1, 2, 3, 4, 7, 16, 200] {
+            let got = par_map(&items, threads, |_, &x| x.wrapping_mul(2654435761) >> 7);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indices_match_positions() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(&items, 2, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_and_zero_threads() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        let one = vec![41u32];
+        assert_eq!(par_map(&one, 0, |_, &x| x + 1), [42]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        par_map(&items, 4, |_, &x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+}

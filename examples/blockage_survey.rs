@@ -5,6 +5,11 @@
 //! and with the best non-line-of-sight beam pair — the experiment behind
 //! Fig. 3.
 //!
+//! Headset positions are drawn sequentially from the seeded RNG (so the
+//! campaign is the same regardless of parallelism), then the independent
+//! runs are fanned out with [`movr_sim::par_map`] and folded back in run
+//! order: the output is byte-identical for any thread count.
+//!
 //! ```sh
 //! cargo run --release --example blockage_survey
 //! ```
@@ -14,6 +19,40 @@ use movr_math::{SimRng, Summary, Vec2};
 use movr_phased_array::Codebook;
 use movr_radio::{RadioEndpoint, RateTable};
 use movr_rfsim::{BodyPart, Obstacle, Scene};
+use movr_sim::{available_threads, par_map};
+
+/// Per-run measurements: SNR (dB) for LOS, hand, head, body, best NLOS.
+fn survey_run(hs_pos: Vec2) -> [f64; 5] {
+    let mut scene = Scene::paper_office();
+    let ap_pos = Vec2::new(0.5, 2.5);
+    let mut ap = RadioEndpoint::paper_radio(ap_pos, 20.0);
+    let mut hs = RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(ap_pos));
+
+    let mid = ap_pos.lerp(hs_pos, 0.55);
+    let scenarios: [Option<Obstacle>; 4] = [
+        None,
+        Some(Obstacle::new(BodyPart::Hand, mid)),
+        Some(Obstacle::new(BodyPart::Head, mid)),
+        Some(Obstacle::new(BodyPart::Torso, mid)),
+    ];
+    let mut snr = [0.0; 5];
+    for (idx, obstacle) in scenarios.into_iter().enumerate() {
+        scene.clear_obstacles();
+        if let Some(o) = obstacle {
+            scene.add_obstacle(o);
+        }
+        snr[idx] = aligned_direct_snr(&scene, &mut ap, &mut hs);
+    }
+
+    // Best NLOS: body blockage in place, sweep every beam pair.
+    scene.clear_obstacles();
+    scene.add_obstacle(Obstacle::new(BodyPart::Torso, mid));
+    let cb_ap = Codebook::sweep(-50.0, 90.0, 2.0);
+    let hs_bore = hs.array().boresight_deg();
+    let cb_hs = Codebook::sweep(hs_bore - 50.0, hs_bore + 50.0, 2.0);
+    snr[4] = opt_nlos(&scene, &ap, &hs, &cb_ap, &cb_hs, 7.0).snr_db;
+    snr
+}
 
 fn main() {
     let mut rng = SimRng::seed_from_u64(2016);
@@ -28,42 +67,19 @@ fn main() {
         ("best NLOS", Summary::new(), Summary::new()),
     ];
 
-    for run in 0..runs {
-        let mut scene = Scene::paper_office();
-        let ap_pos = Vec2::new(0.5, 2.5);
-        let mut ap = RadioEndpoint::paper_radio(ap_pos, 20.0);
+    // Random headset placements with a clear LOS, in the AP's scan —
+    // drawn up-front so the RNG sequence matches the sequential survey.
+    let positions: Vec<Vec2> = (0..runs)
+        .map(|_| Vec2::new(rng.uniform(2.0, 4.5), rng.uniform(1.0, 4.0)))
+        .collect();
 
-        // Random headset placement with a clear LOS, in the AP's scan.
-        let hs_pos = Vec2::new(rng.uniform(2.0, 4.5), rng.uniform(1.0, 4.0));
-        let mut hs = RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(ap_pos));
+    let results = par_map(&positions, available_threads(), |_, &hs_pos| survey_run(hs_pos));
 
-        let mid = ap_pos.lerp(hs_pos, 0.55);
-        let scenarios: [(usize, Option<Obstacle>); 4] = [
-            (0, None),
-            (1, Some(Obstacle::new(BodyPart::Hand, mid))),
-            (2, Some(Obstacle::new(BodyPart::Head, mid))),
-            (3, Some(Obstacle::new(BodyPart::Torso, mid))),
-        ];
-        for (idx, obstacle) in scenarios {
-            scene.clear_obstacles();
-            if let Some(o) = obstacle {
-                scene.add_obstacle(o);
-            }
-            let snr = aligned_direct_snr(&scene, &mut ap, &mut hs);
+    for (run, (hs_pos, snrs)) in positions.iter().zip(&results).enumerate() {
+        for (idx, &snr) in snrs.iter().enumerate() {
             stats[idx].1.push(snr);
             stats[idx].2.push(rate.rate_mbps(snr) / 1000.0);
         }
-
-        // Best NLOS: body blockage in place, sweep every beam pair.
-        scene.clear_obstacles();
-        scene.add_obstacle(Obstacle::new(BodyPart::Torso, mid));
-        let cb_ap = Codebook::sweep(-50.0, 90.0, 2.0);
-        let hs_bore = hs.array().boresight_deg();
-        let cb_hs = Codebook::sweep(hs_bore - 50.0, hs_bore + 50.0, 2.0);
-        let nl = opt_nlos(&scene, &ap, &hs, &cb_ap, &cb_hs, 7.0);
-        stats[4].1.push(nl.snr_db);
-        stats[4].2.push(rate.rate_mbps(nl.snr_db) / 1000.0);
-
         println!("run {run:>2}: headset at {hs_pos}");
     }
 

@@ -2,6 +2,10 @@
 //! and without the reflector, for a player facing the AP — the spatial
 //! picture behind Figs. 3 and 9.
 //!
+//! Cells are independent, so they are fanned out over worker threads
+//! with [`movr_sim::par_map`]; the map is byte-identical for any thread
+//! count.
+//!
 //! ```sh
 //! cargo run --release --example coverage_map
 //! ```
@@ -10,6 +14,7 @@ use movr::system::{MovrSystem, SystemConfig};
 use movr_math::Vec2;
 use movr_motion::{PlayerState, WorldState};
 use movr_radio::{RateTable, VR_REQUIRED_SNR_DB};
+use movr_sim::{available_threads, par_map};
 
 /// Grid resolution, metres.
 const STEP: f64 = 0.25;
@@ -27,30 +32,32 @@ fn snr_char(snr: f64) -> char {
 
 fn render(with_hand: bool) {
     let rate = RateTable;
-    let mut rows = Vec::new();
-    let mut vr_cells = 0usize;
-    let mut cells = 0usize;
 
-    // y from top (north) to bottom for natural map orientation.
+    // Enumerate cells in render order (north row first), then evaluate
+    // them in parallel: every cell builds a fresh system, so persistent
+    // beam state cannot leak between unrelated positions and the result
+    // does not depend on evaluation order.
     let steps = (5.0 / STEP) as i32;
+    let mut grid = Vec::new();
     for gy in (1..steps).rev() {
-        let mut row = String::new();
         for gx in 1..steps {
-            let pos = Vec2::new(gx as f64 * STEP, gy as f64 * STEP);
-            // Fresh system per cell: persistent beam state must not leak
-            // between unrelated positions.
-            let mut sys = MovrSystem::paper_setup(SystemConfig::default());
-            let yaw = pos.bearing_deg_to(Vec2::new(0.5, 2.5));
-            let player = PlayerState::standing(pos, yaw).with_hand(with_hand);
-            let d = sys.evaluate(&WorldState::player_only(player));
-            cells += 1;
-            if rate.supports_vr(d.snr_db) {
-                vr_cells += 1;
-            }
-            row.push(snr_char(d.snr_db));
+            grid.push(Vec2::new(f64::from(gx) * STEP, f64::from(gy) * STEP));
         }
-        rows.push(row);
     }
+    let snrs = par_map(&grid, available_threads(), |_, &pos| {
+        let mut sys = MovrSystem::paper_setup(SystemConfig::default());
+        let yaw = pos.bearing_deg_to(Vec2::new(0.5, 2.5));
+        let player = PlayerState::standing(pos, yaw).with_hand(with_hand);
+        sys.evaluate(&WorldState::player_only(player)).snr_db
+    });
+
+    let width = (steps - 1) as usize;
+    let cells = snrs.len();
+    let vr_cells = snrs.iter().filter(|&&s| rate.supports_vr(s)).count();
+    let rows: Vec<String> = snrs
+        .chunks(width)
+        .map(|row| row.iter().map(|&s| snr_char(s)).collect())
+        .collect();
 
     println!(
         "\n=== player facing the AP{} ===",

@@ -37,12 +37,20 @@ echo "==> workspace is warning-clean under -Dwarnings"
 RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
 
 echo "==> bench smoke (--quick profile, JSON lines)"
-out="$(cargo bench -p movr-bench --offline -- --quick 2>/dev/null | grep '"median_ns"')"
+out="$(cargo bench -p movr-bench --bench microbench --offline -- --quick 2>/dev/null | grep '"median_ns"')"
 echo "$out"
 lines="$(printf '%s\n' "$out" | wc -l)"
 if [ "$lines" -lt 10 ]; then
     echo "expected >= 10 bench JSON lines, got $lines" >&2
     exit 1
 fi
+
+echo "==> bench: sweep-rate gate (cached bit-identical and >= 5x; fleet byte-identical)"
+cargo bench -p movr-bench --bench sweep --offline -- --quick 2>/dev/null \
+    | grep '^{' > out/BENCH_sweep.json
+cat out/BENCH_sweep.json
+grep -q '"name":"sweep_speedup"' out/BENCH_sweep.json
+grep -q '"bit_identical":true' out/BENCH_sweep.json
+grep -q '"byte_identical":true' out/BENCH_sweep.json
 
 echo "==> OK"

@@ -1,0 +1,159 @@
+//! Cached vs uncached evaluation must be **bit-identical**.
+//!
+//! The sweep-rate engine (traced-path caching, steering-vector reuse,
+//! memoized gain lookups) is a pure restructuring: every cached entry
+//! point promises the same float-op order as the plain one. These tests
+//! pin that promise on the paper setup for the three load-bearing
+//! evaluators — `relay_link`, `round_trip_reflection_dbm`, and the full
+//! `estimate_incidence` sweep — plus the raw `LinkCache`.
+
+use movr::alignment::{estimate_incidence, AlignmentConfig};
+use movr::reflector::MovrReflector;
+use movr::relay::{relay_link, relay_link_on, round_trip_reflection_dbm, round_trip_reflection_on};
+use movr_math::{SimRng, Vec2};
+use movr_phased_array::Codebook;
+use movr_radio::{evaluate_link, ArrayPattern, RadioEndpoint};
+use movr_rfsim::{BodyPart, LinkCache, Obstacle, Scene};
+
+/// The canonical relay layout: AP mid-west wall, reflector on the north
+/// wall, headset in the play area, beams aimed, gain safely below leak.
+fn relay_setup() -> (Scene, RadioEndpoint, MovrReflector, RadioEndpoint) {
+    let scene = Scene::paper_office();
+    let mut ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let mut reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 7);
+    let hs_pos = Vec2::new(3.5, 1.5);
+    let mut headset =
+        RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(Vec2::new(1.0, 4.75)));
+    ap.steer_toward(reflector.position());
+    reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));
+    reflector.steer_tx(reflector.position().bearing_deg_to(headset.position()));
+    headset.steer_toward(reflector.position());
+    reflector.set_gain_db(reflector.loop_attenuation_db() - 6.0);
+    (scene, ap, reflector, headset)
+}
+
+#[test]
+fn relay_link_on_is_bit_identical_to_relay_link() {
+    let (mut scene, ap, reflector, headset) = relay_setup();
+    // Exercise clear and obstructed geometry.
+    for obstacle in [None, Some(Obstacle::new(BodyPart::Torso, Vec2::new(2.2, 2.2)))] {
+        scene.clear_obstacles();
+        if let Some(o) = obstacle {
+            scene.add_obstacle(o);
+        }
+        let plain = relay_link(&scene, &ap, &reflector, &headset);
+        let hop1 = scene.trace_link(ap.position(), reflector.position());
+        let hop2 = scene.trace_link(reflector.position(), headset.position());
+        let cached = relay_link_on(&hop1, &hop2, &ap, &reflector, headset.array());
+        assert_eq!(plain.hop1_received_dbm.to_bits(), cached.hop1_received_dbm.to_bits());
+        assert_eq!(plain.hop1_snr_db.to_bits(), cached.hop1_snr_db.to_bits());
+        assert_eq!(
+            plain.relay_output_dbm.map(f64::to_bits),
+            cached.relay_output_dbm.map(f64::to_bits)
+        );
+        assert_eq!(plain.hop2_received_dbm.to_bits(), cached.hop2_received_dbm.to_bits());
+        assert_eq!(plain.hop2_snr_db.to_bits(), cached.hop2_snr_db.to_bits());
+        assert_eq!(plain.end_snr_db.to_bits(), cached.end_snr_db.to_bits());
+        assert_eq!(plain.saturated, cached.saturated);
+    }
+}
+
+#[test]
+fn round_trip_on_is_bit_identical_to_plain() {
+    let (scene, ap, mut reflector, _hs) = relay_setup();
+    let to_ap = reflector.position().bearing_deg_to(ap.position());
+    for offset in [0.0, 7.0, -13.0, 31.0] {
+        reflector.steer_both(to_ap + offset);
+        reflector.set_gain_db(reflector.loop_attenuation_db() - 6.0);
+        let plain = round_trip_reflection_dbm(&scene, &ap, &reflector);
+        let forward = scene.trace_link(ap.position(), reflector.position());
+        let back = scene.trace_link(reflector.position(), ap.position());
+        let cached =
+            round_trip_reflection_on(&forward, &back, ap.array(), ap.tx_power_dbm(), &reflector);
+        assert_eq!(plain.map(f64::to_bits), cached.map(f64::to_bits), "offset={offset}");
+    }
+}
+
+/// The seed-era incidence sweep: steer the live AP per candidate and
+/// re-trace per probe through the plain entry points. The cached
+/// `estimate_incidence` must reproduce its argmax and peak bit-for-bit.
+fn uncached_incidence(
+    scene: &Scene,
+    mut ap: RadioEndpoint,
+    mut reflector: MovrReflector,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> (f64, f64, f64) {
+    reflector.set_gain_db(config.probe_gain_db);
+    reflector.set_modulating(true);
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    for &theta1 in config.reflector_codebook.beams() {
+        reflector.steer_both(theta1);
+        for &theta2 in config.ap_codebook.beams() {
+            ap.steer_to(theta2);
+            let reflected = round_trip_reflection_dbm(scene, &ap, &reflector)
+                .unwrap_or(f64::NEG_INFINITY);
+            let reading = config
+                .probe
+                .measure_modulated(reflected, ap.tx_power_dbm(), rng);
+            if reading.power_dbm > best.0 {
+                best = (reading.power_dbm, theta1, theta2);
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn estimate_incidence_is_bit_identical_to_uncached_sweep() {
+    let scene = Scene::paper_office();
+    let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 5);
+    let truth_refl = reflector.position().bearing_deg_to(ap.position());
+    let truth_ap = ap.position().bearing_deg_to(reflector.position());
+    // A 21×21 window keeps the double sweep fast; the bench runs the
+    // full 101×101 version of this same check.
+    let cfg = AlignmentConfig {
+        ap_codebook: Codebook::sweep(truth_ap - 10.0, truth_ap + 10.0, 1.0),
+        reflector_codebook: Codebook::sweep(truth_refl - 10.0, truth_refl + 10.0, 1.0),
+        ..Default::default()
+    };
+
+    let mut rng_c = SimRng::seed_from_u64(42);
+    let cached = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_c);
+    let mut rng_u = SimRng::seed_from_u64(42);
+    let (peak, t1, t2) = uncached_incidence(&scene, ap, reflector, &cfg, &mut rng_u);
+
+    assert_eq!(cached.peak_power_dbm.to_bits(), peak.to_bits());
+    assert_eq!(cached.reflector_angle_deg.to_bits(), t1.to_bits());
+    assert_eq!(cached.ap_angle_deg.to_bits(), t2.to_bits());
+    // Both RNGs must have consumed the same draws: the next sample from
+    // each is identical.
+    assert_eq!(rng_c.uniform(0.0, 1.0).to_bits(), rng_u.uniform(0.0, 1.0).to_bits());
+}
+
+#[test]
+fn link_cache_evaluation_is_bit_identical_across_obstacle_churn() {
+    let mut scene = Scene::paper_office();
+    let mut ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let mut hs = RadioEndpoint::paper_radio(Vec2::new(4.0, 2.0), 180.0);
+    ap.steer_toward(hs.position());
+    hs.steer_toward(ap.position());
+    let mut cache = LinkCache::new();
+
+    let idx = scene.add_obstacle(Obstacle::new(BodyPart::Hand, Vec2::new(2.0, 2.3)));
+    for step in 0..6 {
+        scene.move_obstacle(idx, Vec2::new(2.0 + 0.3 * f64::from(step), 2.3));
+        let plain = evaluate_link(&scene, &ap, &hs);
+        let cached = cache.evaluate(
+            &scene,
+            ap.position(),
+            &ArrayPattern(ap.array()),
+            ap.tx_power_dbm(),
+            hs.position(),
+            &ArrayPattern(hs.array()),
+        );
+        assert_eq!(plain.received_dbm.to_bits(), cached.received_dbm.to_bits(), "step={step}");
+        assert_eq!(plain.snr_db.to_bits(), cached.snr_db.to_bits(), "step={step}");
+    }
+}

@@ -15,7 +15,7 @@ use movr::reflector::MovrReflector;
 use movr_math::{db_to_linear, linear_to_db, wrap_deg_180, Cdf, Vec2};
 use movr_phased_array::UniformLinearArray;
 use movr_radio::RateTable;
-use movr_rfsim::{trace_paths, BodyPart, Obstacle, Room, TraceConfig};
+use movr_rfsim::{trace_paths, BodyPart, LinkCache, Obstacle, Room, Scene, TraceConfig};
 use movr_sim::{EventQueue, SimTime};
 use movr_testkit::{
     choice, f64_range, prop_assert, prop_assert_eq, prop_assume, property, u64_range,
@@ -345,6 +345,44 @@ property! {
         prop_assert_eq!(a.bucket_counts(), h.bucket_counts());
         prop_assert_eq!(a.underflow(), h.underflow());
         prop_assert_eq!(a.overflow(), h.overflow());
+    }
+}
+
+// ---------------- link cache ----------------
+
+property! {
+    fn link_cache_tracks_obstacle_motion_exactly(
+        tx_x in f64_range(0.3, 4.7),
+        rx_y in f64_range(0.3, 4.7),
+        ox in f64_range(0.5, 4.5),
+        dx in f64_range(-0.4, 0.4),
+        kind in choice(vec![BodyPart::Hand, BodyPart::Head, BodyPart::Torso]),
+    ) {
+        let tx = Vec2::new(tx_x, 0.8);
+        let rx = Vec2::new(4.2, rx_y);
+        let (ox, oy) = (ox, 2.5);
+        let (dx, dy) = (dx, -dx / 2.0);
+        prop_assume!(tx.distance(rx) > 0.05);
+
+        let mut scene = Scene::paper_office();
+        let idx = scene.add_obstacle(Obstacle::new(kind, Vec2::new(ox, oy)));
+        let mut cache = LinkCache::new();
+        // Warm the cache on the original obstacle position…
+        let _ = cache.paths(&scene, tx, rx);
+        // …then move the obstacle and read the link again through the
+        // cache. (A stale read is impossible by construction: the cache
+        // takes `&Scene` at the read, so any scene mutation — which bumps
+        // the generation — is visible to it.)
+        scene.move_obstacle(idx, Vec2::new(ox + dx, oy + dy));
+        let cached = cache.paths(&scene, tx, rx).to_vec();
+
+        // Reference: a scene built directly with the final obstacle
+        // position, traced fresh. Must match the cache *exactly* — same
+        // path count, every float bit-identical.
+        let mut fresh = Scene::paper_office();
+        fresh.add_obstacle(Obstacle::new(kind, Vec2::new(ox + dx, oy + dy)));
+        let expect = fresh.trace_link(tx, rx);
+        prop_assert_eq!(cached.as_slice(), expect.paths());
     }
 }
 
