@@ -42,6 +42,18 @@ impl CurrentSensor {
         }
     }
 
+    /// The noise stream's raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the noise stream from a [`CurrentSensor::rng_state`]
+    /// capture, so subsequent measurements draw the same noise sequence
+    /// the uninterrupted sensor would have.
+    pub fn restore_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = SimRng::from_state(state);
+    }
+
     /// The smallest current step the ADC resolves, amperes.
     pub fn lsb_a(&self) -> f64 {
         self.full_scale_a / movr_math::convert::u64_to_f64((1u64 << self.adc_bits) - 1)

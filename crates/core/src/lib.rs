@@ -59,6 +59,7 @@ pub mod planning;
 pub mod reflector;
 pub mod relay;
 pub mod session;
+pub mod snapshot;
 pub mod system;
 pub mod tracking;
 
@@ -69,4 +70,9 @@ pub use relay::{
     relay_link, relay_link_on, relay_link_with, round_trip_reflection_dbm,
     round_trip_reflection_on, round_trip_reflection_with, RelayBudget,
 };
+pub use session::{
+    run_session, run_session_on, run_session_on_recorded, run_session_recorded, RatePolicy,
+    Session, SessionConfig, SessionOutcome, Strategy,
+};
+pub use snapshot::{config_fingerprint, Snapshot, SnapshotError, FORMAT_VERSION};
 pub use system::{LinkDecision, LinkMode, MovrSystem, SystemConfig};

@@ -141,6 +141,18 @@ impl MovrReflector {
             .map(|g| g - self.insertion_loss_db())
     }
 
+    /// The current sensor's noise-stream RNG state, for checkpointing.
+    pub fn sensor_rng_state(&self) -> [u64; 4] {
+        self.current_sensor.rng_state()
+    }
+
+    /// Restores the sensor noise stream from a
+    /// [`MovrReflector::sensor_rng_state`] capture, so resumed gain-control
+    /// runs draw the same measurement noise the uninterrupted device would.
+    pub fn restore_sensor_rng_state(&mut self, state: [u64; 4]) {
+        self.current_sensor.restore_rng_state(state);
+    }
+
     /// What the firmware reads off the current sensor right now, amperes.
     pub fn measure_supply_current_a(&mut self) -> f64 {
         let true_current = self

@@ -5,13 +5,21 @@
 //! motion-to-photon budget, given the link's instantaneous rate and any
 //! beam-realignment stall in progress? The output is the player-facing
 //! quality the paper argues MoVR delivers and the baselines do not.
+//!
+//! The loop is exposed two ways: the one-shot [`run_session`] family, and
+//! the stepwise [`Session`], which advances one frame per call and keeps
+//! *all* mutable state in a [`SessionState`] — the unit the checkpoint
+//! codec ([`crate::snapshot::Snapshot`]) serialises, so a session can be
+//! cut at any frame boundary, round-tripped through bytes, and resumed
+//! bit-identically.
 
 use crate::system::{LinkMode, MovrSystem, SystemConfig};
 use movr_math::SimRng;
 use movr_motion::MotionTrace;
 use movr_obs::{Event, Histogram, MetricsRegistry, MetricsSnapshot, NullRecorder, Recorder};
 use movr_radio::{
-    FrameConfig, Hysteresis, McsEntry, Oracle, PerModel, RateAdapter, SnrThreshold,
+    BadMcsIndex, FrameConfig, Hysteresis, McsEntry, Oracle, PerModel, RateAdapter,
+    SnrThreshold,
 };
 use movr_sim::{EventQueue, SimTime};
 use movr_vr::{GlitchReport, GlitchTracker, LatencyBudget, VrTrafficModel};
@@ -92,14 +100,14 @@ impl SessionConfig {
 }
 
 /// Runtime instantiation of a [`RatePolicy`].
-enum AdapterImpl {
+pub(crate) enum AdapterImpl {
     Oracle(Oracle),
     Threshold(SnrThreshold),
     Hysteresis(Hysteresis),
 }
 
 impl AdapterImpl {
-    fn new(policy: RatePolicy) -> Self {
+    pub(crate) fn new(policy: RatePolicy) -> Self {
         match policy {
             RatePolicy::Oracle => AdapterImpl::Oracle(Oracle::default()),
             RatePolicy::Threshold { backoff_db } => {
@@ -131,6 +139,30 @@ impl AdapterImpl {
             AdapterImpl::Oracle(a) => a.current().map(|m| m.index),
             AdapterImpl::Threshold(a) => a.current().map(|m| m.index),
             AdapterImpl::Hysteresis(a) => a.current().map(|m| m.index),
+        }
+    }
+
+    /// The adapter's whole mutable state: `(current MCS index, hysteresis
+    /// up-streak)`. The streak is zero for streak-free policies.
+    pub(crate) fn state(&self) -> (Option<usize>, usize) {
+        match self {
+            AdapterImpl::Oracle(a) => (a.current_index(), 0),
+            AdapterImpl::Threshold(a) => (a.current_index(), 0),
+            AdapterImpl::Hysteresis(a) => (a.current_index(), a.up_streak()),
+        }
+    }
+
+    /// Restores an [`AdapterImpl::state`] capture. Errors on an MCS index
+    /// outside the rate table (snapshot bytes are external input).
+    pub(crate) fn restore_state(
+        &mut self,
+        current: Option<usize>,
+        up_streak: usize,
+    ) -> Result<(), BadMcsIndex> {
+        match self {
+            AdapterImpl::Oracle(a) => a.restore_current(current),
+            AdapterImpl::Threshold(a) => a.restore_current(current),
+            AdapterImpl::Hysteresis(a) => a.restore_state(current, up_streak),
         }
     }
 }
@@ -168,8 +200,315 @@ impl SessionOutcome {
 
 /// The per-frame event driving the session loop.
 #[derive(Debug, Clone, Copy)]
-enum SessionEvent {
+pub(crate) enum SessionEvent {
     Frame,
+}
+
+/// Every piece of mid-session mutable state, in one struct. This is the
+/// exact unit the checkpoint codec serialises: anything the frame loop
+/// reads *and* writes lives here, while [`SessionConfig`] (and the
+/// deployment's calibration/geometry) are construction inputs that a
+/// restore target must supply identically. Fields are crate-private; the
+/// public surface is [`Session`] plus [`crate::snapshot::Snapshot`].
+pub struct SessionState {
+    pub(crate) system: MovrSystem,
+    pub(crate) adapter: AdapterImpl,
+    pub(crate) report_rng: SimRng,
+    pub(crate) glitches: GlitchTracker,
+    pub(crate) snr_sum: f64,
+    pub(crate) snr_min: f64,
+    pub(crate) frames: usize,
+    pub(crate) mode_switches: usize,
+    pub(crate) realignments: usize,
+    pub(crate) reflector_frames: usize,
+    pub(crate) last_mode: Option<LinkMode>,
+    /// The link is unusable until this instant while a sweep is running.
+    pub(crate) blocked_until: SimTime,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) queue: EventQueue<SessionEvent>,
+}
+
+fn snr_hist(m: &mut MetricsRegistry) -> &mut Histogram {
+    m.histogram("frame_snr_db", || Histogram::linear(-10.0, 50.0, 60))
+}
+fn airtime_hist(m: &mut MetricsRegistry) -> &mut Histogram {
+    m.histogram("frame_airtime_ns", || Histogram::log_spaced(1e5, 1e8, 30))
+}
+fn stall_hist(m: &mut MetricsRegistry) -> &mut Histogram {
+    m.histogram("realign_stall_ns", || Histogram::log_spaced(1e6, 1e10, 24))
+}
+
+/// A stepwise VR session: the frame loop of [`run_session`] opened up at
+/// the frame boundary. Each [`Session::step_frame`] call processes
+/// exactly one frame event; between calls the session is a plain value
+/// that can be checkpointed with [`Session::snapshot`] and later resumed
+/// with [`Session::restore`], continuing bit-identically — same RNG
+/// draws, same metrics, same recorded timeline.
+pub struct Session {
+    config: SessionConfig,
+    state: SessionState,
+}
+
+impl Session {
+    /// A session over the canonical single-reflector deployment.
+    pub fn new(config: &SessionConfig) -> Self {
+        Session::on_system(MovrSystem::paper_setup(config.system), config)
+    }
+
+    /// A session over a caller-built deployment (see [`run_session_on`]).
+    pub fn on_system(system: MovrSystem, config: &SessionConfig) -> Self {
+        let mut queue: EventQueue<SessionEvent> = EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, SessionEvent::Frame);
+        Session {
+            config: *config,
+            state: SessionState {
+                system,
+                adapter: AdapterImpl::new(config.rate_policy),
+                report_rng: SimRng::seed_from_u64(config.system.seed ^ 0x5E55_1055),
+                glitches: GlitchTracker::new(),
+                snr_sum: 0.0,
+                snr_min: f64::INFINITY,
+                frames: 0,
+                mode_switches: 0,
+                realignments: 0,
+                reflector_frames: 0,
+                last_mode: None,
+                blocked_until: SimTime::ZERO,
+                metrics: MetricsRegistry::new(),
+                queue,
+            },
+        }
+    }
+
+    /// Reassembles a session from decoded parts (checkpoint restore).
+    pub(crate) fn from_parts(config: SessionConfig, state: SessionState) -> Self {
+        Session { config, state }
+    }
+
+    /// The configuration the session runs under.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The session's mutable state (checkpoint capture).
+    pub(crate) fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// Frames processed so far.
+    pub fn frames(&self) -> usize {
+        self.state.frames
+    }
+
+    /// The session clock: the timestamp of the last processed event.
+    pub fn now(&self) -> SimTime {
+        self.state.queue.now()
+    }
+
+    /// Serialises the session's entire mutable state to the versioned
+    /// snapshot format (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::capture(self)
+    }
+
+    /// Restores a [`Session::snapshot`] onto the canonical deployment.
+    /// `config` must fingerprint-match the capturing session's config.
+    pub fn restore(
+        bytes: &[u8],
+        config: &SessionConfig,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        crate::snapshot::Snapshot::restore(bytes, config)
+    }
+
+    /// Restores a [`Session::snapshot`] onto a caller-built deployment
+    /// (the [`run_session_on`] analogue — the system must match the one
+    /// the capturing session ran on).
+    pub fn restore_on(
+        bytes: &[u8],
+        system: MovrSystem,
+        config: &SessionConfig,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        crate::snapshot::Snapshot::restore_on(bytes, system, config)
+    }
+
+    /// Processes the next frame event, if one is due within the trace's
+    /// duration. Returns `false` when the session is over.
+    pub fn step_frame(&mut self, trace: &dyn MotionTrace) -> bool {
+        self.step_frame_recorded(trace, &mut NullRecorder)
+    }
+
+    /// [`Session::step_frame`] with observability (the event vocabulary
+    /// is documented on [`run_session_on_recorded`]).
+    pub fn step_frame_recorded(
+        &mut self,
+        trace: &dyn MotionTrace,
+        rec: &mut dyn Recorder,
+    ) -> bool {
+        let config = self.config;
+        let st = &mut self.state;
+        let end = SimTime::from_secs_f64(trace.duration_s());
+        let Some((now, SessionEvent::Frame)) = st.queue.next_until(end) else {
+            return false;
+        };
+        let per_model = PerModel::default();
+        let t_s = now.as_secs_f64();
+        let world = trace.world_at(t_s);
+        st.frames += 1;
+        st.metrics.inc("frames_total");
+
+        let mut frame_mode: Option<LinkMode> = None;
+        let snr_db = match config.strategy {
+            Strategy::Tethered => f64::INFINITY,
+            Strategy::DirectOnly => st.system.evaluate_direct(&world),
+            Strategy::Movr { .. } => {
+                let d = st.system.evaluate_at_recorded(t_s, &world, rec);
+                if d.realigned {
+                    st.realignments += 1;
+                    st.metrics.inc("realignments");
+                    let done = now + d.realignment_cost;
+                    st.blocked_until = st.blocked_until.max(done);
+                    if d.realignment_cost > SimTime::ZERO {
+                        stall_hist(&mut st.metrics)
+                            .observe(d.realignment_cost.as_nanos() as f64);
+                    }
+                    if rec.enabled() {
+                        rec.record(
+                            Event::new(now, "realign")
+                                .with("mode", mode_name(d.mode))
+                                .with("cost_ns", d.realignment_cost),
+                        );
+                        if d.realignment_cost > SimTime::ZERO {
+                            let id = rec.start_span(now, "realign_stall");
+                            rec.end_span(done, "realign_stall", id);
+                        }
+                    }
+                }
+                if st.last_mode != Some(d.mode) {
+                    if st.last_mode.is_some() {
+                        st.mode_switches += 1;
+                        st.metrics.inc("mode_switches");
+                    }
+                    if rec.enabled() {
+                        let mut e = Event::new(now, "mode_switch")
+                            .with("to", mode_name(d.mode));
+                        if let Some(prev) = st.last_mode {
+                            e = e.with("from", mode_name(prev));
+                        }
+                        if let LinkMode::Reflector(i) = d.mode {
+                            e = e.with("reflector", i as u64);
+                        }
+                        rec.record(e);
+                    }
+                    st.last_mode = Some(d.mode);
+                }
+                if matches!(d.mode, LinkMode::Reflector(_)) {
+                    st.reflector_frames += 1;
+                    st.metrics.inc("reflector_frames");
+                }
+                frame_mode = Some(d.mode);
+                d.snr_db
+            }
+        };
+
+        if snr_db.is_finite() {
+            st.snr_sum += snr_db;
+            st.snr_min = st.snr_min.min(snr_db);
+        }
+        snr_hist(&mut st.metrics).observe(snr_db);
+
+        let rate_before = st.adapter.current_index();
+        let mut frame_mcs: Option<&'static McsEntry> = None;
+        let delivered = if config.strategy == Strategy::Tethered {
+            true
+        } else {
+            // The transmitter picks an MCS from its (possibly noisy) SNR
+            // report; the frame then needs its PPDU burst — inflated by
+            // the expected retransmissions at the true SNR's PER — to fit
+            // the latency budget together with any realignment stall.
+            let report = match config.rate_policy {
+                RatePolicy::Oracle => snr_db,
+                _ => snr_db + st.report_rng.normal(0.0, config.snr_report_sigma_db),
+            };
+            match st.adapter.select(now, report, rec) {
+                None => false,
+                Some(mcs) => {
+                    frame_mcs = Some(mcs);
+                    let per = per_model.per(mcs, snr_db).min(0.99);
+                    let base = config
+                        .framing
+                        .burst_airtime(mcs, config.traffic.frame_bits as u64);
+                    let airtime =
+                        SimTime::from_secs_f64(base.as_secs_f64() / (1.0 - per));
+                    airtime_hist(&mut st.metrics).observe(airtime.as_nanos() as f64);
+                    let stall = st.blocked_until.saturating_since(now);
+                    config.latency.meets_deadline(airtime, stall)
+                }
+            }
+        };
+        match (rate_before, st.adapter.current_index()) {
+            (Some(b), Some(a)) if a > b => st.metrics.inc("rate_up"),
+            (Some(b), Some(a)) if a < b => st.metrics.inc("rate_down"),
+            (Some(_), None) => st.metrics.inc("rate_outage"),
+            _ => {}
+        }
+        st.metrics.inc(if delivered {
+            "frames_delivered"
+        } else {
+            "frames_missed"
+        });
+        let stall_before = st.glitches.current_stall_frames();
+        st.glitches.record(delivered);
+        if rec.enabled() {
+            if delivered && stall_before > 0 {
+                rec.record(
+                    Event::new(now, "stall_recovered").with("stall_frames", stall_before),
+                );
+            }
+            let mut e = Event::new(now, "frame")
+                .with("delivered", delivered)
+                .with("snr_db", snr_db)
+                .with("stall_ns", st.blocked_until.saturating_since(now));
+            if let Some(mcs) = frame_mcs {
+                e = e.with("mcs", mcs.index as u64);
+            }
+            if let Some(mode) = frame_mode {
+                e = e.with("mode", mode_name(mode));
+                if let LinkMode::Reflector(i) = mode {
+                    e = e.with("reflector", i as u64);
+                }
+            }
+            rec.record(e);
+        }
+
+        st.queue
+            .schedule_in(config.traffic.frame_interval(), SessionEvent::Frame);
+        true
+    }
+
+    /// The session's accounting so far, graded against `duration_s`
+    /// (callers pass the trace duration; a finished session's outcome is
+    /// what [`run_session`] returns).
+    pub fn outcome(&self, duration_s: f64) -> SessionOutcome {
+        let st = &self.state;
+        SessionOutcome {
+            duration_s,
+            glitches: st.glitches.report(),
+            mean_snr_db: if st.frames > 0 && st.snr_sum.is_finite() {
+                st.snr_sum / st.frames as f64
+            } else {
+                f64::INFINITY
+            },
+            min_snr_db: st.snr_min,
+            mode_switches: st.mode_switches,
+            realignments: st.realignments,
+            reflector_fraction: if st.frames == 0 {
+                0.0
+            } else {
+                st.reflector_frames as f64 / st.frames as f64
+            },
+            metrics: st.metrics.snapshot(),
+        }
+    }
 }
 
 /// Runs a session over `trace` under `config`, using the canonical
@@ -218,191 +557,14 @@ fn mode_name(mode: LinkMode) -> &'static str {
 /// snapshot, which is collected whether or not events are recorded — is
 /// bit-identical under any recorder: observation never draws RNG.
 pub fn run_session_on_recorded(
-    mut system: MovrSystem,
+    system: MovrSystem,
     trace: &dyn MotionTrace,
     config: &SessionConfig,
     rec: &mut dyn Recorder,
 ) -> SessionOutcome {
-    let mut adapter = AdapterImpl::new(config.rate_policy);
-    let per_model = PerModel::default();
-    let mut report_rng = SimRng::seed_from_u64(config.system.seed ^ 0x5E55_1055);
-    let mut glitches = GlitchTracker::new();
-    let mut snr_sum = 0.0;
-    let mut snr_min = f64::INFINITY;
-    let mut frames = 0usize;
-    let mut mode_switches = 0usize;
-    let mut realignments = 0usize;
-    let mut reflector_frames = 0usize;
-    let mut last_mode: Option<LinkMode> = None;
-    // The link is unusable until this instant while a sweep is running.
-    let mut blocked_until = SimTime::ZERO;
-
-    let mut metrics = MetricsRegistry::new();
-    fn snr_hist(m: &mut MetricsRegistry) -> &mut Histogram {
-        m.histogram("frame_snr_db", || Histogram::linear(-10.0, 50.0, 60))
-    }
-    fn airtime_hist(m: &mut MetricsRegistry) -> &mut Histogram {
-        m.histogram("frame_airtime_ns", || Histogram::log_spaced(1e5, 1e8, 30))
-    }
-    fn stall_hist(m: &mut MetricsRegistry) -> &mut Histogram {
-        m.histogram("realign_stall_ns", || Histogram::log_spaced(1e6, 1e10, 24))
-    }
-
-    let mut queue: EventQueue<SessionEvent> = EventQueue::new();
-    queue.schedule_at(SimTime::ZERO, SessionEvent::Frame);
-    let end = SimTime::from_secs_f64(trace.duration_s());
-
-    while let Some((now, SessionEvent::Frame)) = queue.next_until(end) {
-        let t_s = now.as_secs_f64();
-        let world = trace.world_at(t_s);
-        frames += 1;
-        metrics.inc("frames_total");
-
-        let mut frame_mode: Option<LinkMode> = None;
-        let snr_db = match config.strategy {
-            Strategy::Tethered => f64::INFINITY,
-            Strategy::DirectOnly => system.evaluate_direct(&world),
-            Strategy::Movr { .. } => {
-                let d = system.evaluate_at_recorded(t_s, &world, rec);
-                if d.realigned {
-                    realignments += 1;
-                    metrics.inc("realignments");
-                    let done = now + d.realignment_cost;
-                    blocked_until = blocked_until.max(done);
-                    if d.realignment_cost > SimTime::ZERO {
-                        stall_hist(&mut metrics)
-                            .observe(d.realignment_cost.as_nanos() as f64);
-                    }
-                    if rec.enabled() {
-                        rec.record(
-                            Event::new(now, "realign")
-                                .with("mode", mode_name(d.mode))
-                                .with("cost_ns", d.realignment_cost),
-                        );
-                        if d.realignment_cost > SimTime::ZERO {
-                            let id = rec.start_span(now, "realign_stall");
-                            rec.end_span(done, "realign_stall", id);
-                        }
-                    }
-                }
-                if last_mode != Some(d.mode) {
-                    if last_mode.is_some() {
-                        mode_switches += 1;
-                        metrics.inc("mode_switches");
-                    }
-                    if rec.enabled() {
-                        let mut e = Event::new(now, "mode_switch")
-                            .with("to", mode_name(d.mode));
-                        if let Some(prev) = last_mode {
-                            e = e.with("from", mode_name(prev));
-                        }
-                        if let LinkMode::Reflector(i) = d.mode {
-                            e = e.with("reflector", i as u64);
-                        }
-                        rec.record(e);
-                    }
-                    last_mode = Some(d.mode);
-                }
-                if matches!(d.mode, LinkMode::Reflector(_)) {
-                    reflector_frames += 1;
-                    metrics.inc("reflector_frames");
-                }
-                frame_mode = Some(d.mode);
-                d.snr_db
-            }
-        };
-
-        if snr_db.is_finite() {
-            snr_sum += snr_db;
-            snr_min = snr_min.min(snr_db);
-        }
-        snr_hist(&mut metrics).observe(snr_db);
-
-        let rate_before = adapter.current_index();
-        let mut frame_mcs: Option<&'static McsEntry> = None;
-        let delivered = if config.strategy == Strategy::Tethered {
-            true
-        } else {
-            // The transmitter picks an MCS from its (possibly noisy) SNR
-            // report; the frame then needs its PPDU burst — inflated by
-            // the expected retransmissions at the true SNR's PER — to fit
-            // the latency budget together with any realignment stall.
-            let report = match config.rate_policy {
-                RatePolicy::Oracle => snr_db,
-                _ => snr_db + report_rng.normal(0.0, config.snr_report_sigma_db),
-            };
-            match adapter.select(now, report, rec) {
-                None => false,
-                Some(mcs) => {
-                    frame_mcs = Some(mcs);
-                    let per = per_model.per(mcs, snr_db).min(0.99);
-                    let base = config
-                        .framing
-                        .burst_airtime(mcs, config.traffic.frame_bits as u64);
-                    let airtime =
-                        SimTime::from_secs_f64(base.as_secs_f64() / (1.0 - per));
-                    airtime_hist(&mut metrics).observe(airtime.as_nanos() as f64);
-                    let stall = blocked_until.saturating_since(now);
-                    config.latency.meets_deadline(airtime, stall)
-                }
-            }
-        };
-        match (rate_before, adapter.current_index()) {
-            (Some(b), Some(a)) if a > b => metrics.inc("rate_up"),
-            (Some(b), Some(a)) if a < b => metrics.inc("rate_down"),
-            (Some(_), None) => metrics.inc("rate_outage"),
-            _ => {}
-        }
-        metrics.inc(if delivered {
-            "frames_delivered"
-        } else {
-            "frames_missed"
-        });
-        let stall_before = glitches.current_stall_frames();
-        glitches.record(delivered);
-        if rec.enabled() {
-            if delivered && stall_before > 0 {
-                rec.record(
-                    Event::new(now, "stall_recovered").with("stall_frames", stall_before),
-                );
-            }
-            let mut e = Event::new(now, "frame")
-                .with("delivered", delivered)
-                .with("snr_db", snr_db)
-                .with("stall_ns", blocked_until.saturating_since(now));
-            if let Some(mcs) = frame_mcs {
-                e = e.with("mcs", mcs.index as u64);
-            }
-            if let Some(mode) = frame_mode {
-                e = e.with("mode", mode_name(mode));
-                if let LinkMode::Reflector(i) = mode {
-                    e = e.with("reflector", i as u64);
-                }
-            }
-            rec.record(e);
-        }
-
-        queue.schedule_in(config.traffic.frame_interval(), SessionEvent::Frame);
-    }
-
-    SessionOutcome {
-        duration_s: trace.duration_s(),
-        glitches: glitches.report(),
-        mean_snr_db: if frames > 0 && snr_sum.is_finite() {
-            snr_sum / frames as f64
-        } else {
-            f64::INFINITY
-        },
-        min_snr_db: snr_min,
-        mode_switches,
-        realignments,
-        reflector_fraction: if frames == 0 {
-            0.0
-        } else {
-            reflector_frames as f64 / frames as f64
-        },
-        metrics: metrics.snapshot(),
-    }
+    let mut session = Session::on_system(system, config);
+    while session.step_frame_recorded(trace, rec) {}
+    session.outcome(trace.duration_s())
 }
 
 #[cfg(test)]
@@ -676,5 +838,38 @@ mod tests {
         );
         assert!(out.reflector_fraction >= 0.0 && out.reflector_fraction <= 1.0);
         assert!(out.min_snr_db <= out.mean_snr_db);
+    }
+
+    #[test]
+    fn stepwise_session_matches_one_shot_run() {
+        // The Session step API is the same loop run_session uses — the
+        // outcomes must be bit-identical, and intermediate outcomes must
+        // be monotone in frames processed.
+        let trace = HandRaise {
+            base: facing_ap(),
+            raise_at_s: 1.0,
+            lower_at_s: 3.0,
+            duration_s: 4.0,
+        };
+        let mut cfg = SessionConfig::with_strategy(Strategy::Movr { tracking: true });
+        cfg.rate_policy = RatePolicy::Threshold { backoff_db: 1.0 };
+        let one_shot = run_session(&trace, &cfg);
+
+        let mut session = Session::new(&cfg);
+        let mut stepped = 0usize;
+        while session.step_frame(&trace) {
+            stepped += 1;
+            assert_eq!(session.frames(), stepped);
+        }
+        let out = session.outcome(trace.duration_s());
+        assert_eq!(out.glitches, one_shot.glitches);
+        assert_eq!(out.mean_snr_db.to_bits(), one_shot.mean_snr_db.to_bits());
+        assert_eq!(out.min_snr_db.to_bits(), one_shot.min_snr_db.to_bits());
+        assert_eq!(out.mode_switches, one_shot.mode_switches);
+        assert_eq!(out.realignments, one_shot.realignments);
+        assert_eq!(out.metrics.to_json(), one_shot.metrics.to_json());
+        // Stepping past the end stays over.
+        assert!(!session.step_frame(&trace));
+        assert_eq!(session.frames(), stepped);
     }
 }

@@ -435,6 +435,77 @@ impl MovrSystem {
         }
     }
 
+    /// Captures every piece of mutable deployment state for a session
+    /// checkpoint. Calibration (incidence/AP bearings), geometry, and
+    /// config are construction inputs, not state — a restore target is
+    /// expected to have been built identically.
+    pub(crate) fn checkpoint(&self) -> SystemCheckpoint {
+        SystemCheckpoint {
+            ap_steering_deg: self.ap.array().steering_deg(),
+            mode: self.mode,
+            reflectors: self
+                .reflectors
+                .iter()
+                .enumerate()
+                .map(|(i, r)| ReflectorCheckpoint {
+                    rx_steering_deg: r.rx_array().steering_deg(),
+                    tx_steering_deg: r.tx_array().steering_deg(),
+                    gain_db: r.amplifier().gain_db(),
+                    amp_enabled: r.amplifier().is_enabled(),
+                    modulating: r.is_modulating(),
+                    sensor_rng: r.sensor_rng_state(),
+                    last_tx_deg: self.last_tx_deg[i],
+                    commanded_tx: self.commanded_tx[i],
+                })
+                .collect(),
+            tracker: self.tracker.state(),
+            predictor_history: self.predictor.history(),
+            fault_rng: self.fault_rng.state(),
+            obstacles: self.scene.obstacles().to_vec(),
+            scene_generation: self.scene.generation(),
+        }
+    }
+
+    /// Applies a [`MovrSystem::checkpoint`] capture. The deployment must
+    /// match the one that produced it (same reflector count; a
+    /// `LinkMode::Reflector` index must name an installed unit) — the
+    /// snapshot layer surfaces the returned message as a structured error.
+    pub(crate) fn restore_checkpoint(
+        &mut self,
+        cp: SystemCheckpoint,
+    ) -> Result<(), &'static str> {
+        if cp.reflectors.len() != self.reflectors.len() {
+            return Err("snapshot reflector count differs from the deployment");
+        }
+        if let LinkMode::Reflector(i) = cp.mode {
+            if i >= self.reflectors.len() {
+                return Err("snapshot link mode names an uninstalled reflector");
+            }
+        }
+        // Steering and gain restores go through the normal command paths:
+        // the captured values are already-applied (clamped) outputs, so
+        // re-applying them is exact.
+        self.ap.steer_to(cp.ap_steering_deg);
+        self.mode = cp.mode;
+        for (i, rcp) in cp.reflectors.into_iter().enumerate() {
+            let r = &mut self.reflectors[i];
+            r.steer_rx(rcp.rx_steering_deg);
+            r.steer_tx(rcp.tx_steering_deg);
+            r.set_gain_db(rcp.gain_db);
+            r.set_amplifier_enabled(rcp.amp_enabled);
+            r.set_modulating(rcp.modulating);
+            r.restore_sensor_rng_state(rcp.sensor_rng);
+            self.last_tx_deg[i] = rcp.last_tx_deg;
+            self.commanded_tx[i] = rcp.commanded_tx;
+        }
+        self.tracker.restore_state(cp.tracker);
+        self.predictor.restore_history(cp.predictor_history);
+        self.fault_rng = movr_math::SimRng::from_state(cp.fault_rng);
+        self.scene
+            .restore_obstacle_state(cp.obstacles, cp.scene_generation);
+        Ok(())
+    }
+
     fn decision(&self, snr_db: f64, realigned: bool, cost: SimTime) -> LinkDecision {
         let rate = self.rate_table.rate_mbps(snr_db);
         LinkDecision {
@@ -451,6 +522,50 @@ impl MovrSystem {
     pub fn evaluate(&mut self, world: &WorldState) -> LinkDecision {
         self.evaluate_at(0.0, world)
     }
+}
+
+/// Every mutable field of a [`MovrSystem`] mid-session, as plain data —
+/// the crate-internal transport between the deployment and the snapshot
+/// codec (`crate::snapshot`).
+#[derive(Debug, Clone)]
+pub(crate) struct SystemCheckpoint {
+    /// Applied AP steering bearing, degrees.
+    pub(crate) ap_steering_deg: f64,
+    /// Serving mode.
+    pub(crate) mode: LinkMode,
+    /// Per-reflector device state, in installation order.
+    pub(crate) reflectors: Vec<ReflectorCheckpoint>,
+    /// Tracker state: `(rng, last_update_s, last_pose)`.
+    pub(crate) tracker: ([u64; 4], f64, Option<movr_motion::TrackedPose>),
+    /// Predictor observation history, oldest first.
+    pub(crate) predictor_history: Vec<(f64, movr_motion::TrackedPose)>,
+    /// Fault-injection RNG state.
+    pub(crate) fault_rng: [u64; 4],
+    /// Scene obstacles in force at the checkpoint instant.
+    pub(crate) obstacles: Vec<movr_rfsim::Obstacle>,
+    /// Scene obstacle-generation counter.
+    pub(crate) scene_generation: u64,
+}
+
+/// One reflector's mutable state within a [`SystemCheckpoint`].
+#[derive(Debug, Clone)]
+pub(crate) struct ReflectorCheckpoint {
+    /// Applied receive-beam bearing, degrees.
+    pub(crate) rx_steering_deg: f64,
+    /// Applied transmit-beam bearing, degrees.
+    pub(crate) tx_steering_deg: f64,
+    /// Applied amplifier gain, dB.
+    pub(crate) gain_db: f64,
+    /// Amplifier power state.
+    pub(crate) amp_enabled: bool,
+    /// Backscatter modulation flag.
+    pub(crate) modulating: bool,
+    /// Current-sensor noise RNG state.
+    pub(crate) sensor_rng: [u64; 4],
+    /// Last served transmit bearing (NaN before first use).
+    pub(crate) last_tx_deg: f64,
+    /// In-flight transmit-beam command (NaN before first use).
+    pub(crate) commanded_tx: f64,
 }
 
 #[cfg(test)]
@@ -591,6 +706,49 @@ mod tests {
         assert_eq!(d.mode, LinkMode::Reflector(0));
         assert!(d.realigned);
         assert_eq!(d.realignment_cost, sys.sweep_realignment_cost());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_continues_bit_identically() {
+        // Drive one system through a blockage, checkpoint mid-flight,
+        // apply the capture to a freshly built twin, and require every
+        // subsequent decision to match to the bit.
+        let cfg = SystemConfig {
+            command_loss_probability: 0.2,
+            ..Default::default()
+        };
+        let mut live = MovrSystem::paper_setup(cfg);
+        let clear = WorldState::player_only(facing_ap_player());
+        let blocked = WorldState::player_only(facing_ap_player().with_hand(true));
+        live.evaluate_at(0.0, &clear);
+        live.evaluate_at(0.5, &blocked);
+
+        let mut twin = MovrSystem::paper_setup(cfg);
+        twin.restore_checkpoint(live.checkpoint()).unwrap();
+        assert_eq!(twin.mode(), live.mode());
+        for k in 1..40 {
+            let t = 0.5 + k as f64 * 0.02;
+            let world = if k % 3 == 0 { &clear } else { &blocked };
+            let a = live.evaluate_at(t, world);
+            let b = twin.evaluate_at(t, world);
+            assert_eq!(a.mode, b.mode, "t={t}");
+            assert_eq!(a.snr_db.to_bits(), b.snr_db.to_bits(), "t={t}");
+            assert_eq!(a.realigned, b.realigned, "t={t}");
+            assert_eq!(a.realignment_cost, b.realignment_cost, "t={t}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_deployment() {
+        let mut donor = MovrSystem::paper_setup(SystemConfig::default());
+        donor.add_reflector(MovrReflector::wall_mounted(
+            Vec2::new(4.0, 4.75),
+            -110.0,
+            3,
+        ));
+        let cp = donor.checkpoint();
+        let mut single = MovrSystem::paper_setup(SystemConfig::default());
+        assert!(single.restore_checkpoint(cp).is_err());
     }
 
     #[test]

@@ -113,6 +113,23 @@ impl BeamPredictor {
     pub fn reset(&mut self) {
         self.history.clear();
     }
+
+    /// The retained observation history, oldest first, for checkpointing.
+    /// Depth and horizon are construction parameters, not state.
+    pub fn history(&self) -> Vec<(f64, TrackedPose)> {
+        self.history.iter().copied().collect()
+    }
+
+    /// Restores the history captured by [`BeamPredictor::history`].
+    /// Entries beyond the retention depth are dropped from the oldest
+    /// end, exactly as [`BeamPredictor::observe`] would have retained.
+    pub fn restore_history(&mut self, entries: Vec<(f64, TrackedPose)>) {
+        self.history.clear();
+        self.history.extend(entries);
+        while self.history.len() > self.depth {
+            self.history.pop_front();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +235,29 @@ mod tests {
         assert_ne!(now, future);
         let moved = wrap_deg_180(future - now);
         assert!(moved.abs() > 0.2, "prediction must lead: {moved}");
+    }
+
+    #[test]
+    fn history_round_trip_restores_predictions() {
+        let mut p = BeamPredictor::new();
+        for k in 0..4 {
+            let t = k as f64 * 0.01;
+            p.observe(t, pose(1.0 + t, 2.0, 10.0 + 100.0 * t));
+        }
+        let mut q = BeamPredictor::new();
+        q.restore_history(p.history());
+        assert_eq!(q.observations(), p.observations());
+        assert_eq!(q.velocity(), p.velocity());
+        let a = p.predict(0.05).unwrap();
+        let b = q.predict(0.05).unwrap();
+        assert_eq!(a.center, b.center);
+        assert_eq!(a.yaw_deg, b.yaw_deg);
+        // Over-deep restore input is trimmed from the oldest end.
+        let mut long: Vec<_> = (0..9).map(|k| (k as f64, pose(k as f64, 0.0, 0.0))).collect();
+        let mut r = BeamPredictor::new();
+        r.restore_history(std::mem::take(&mut long));
+        assert_eq!(r.observations(), 4);
+        assert_eq!(r.latest().unwrap().center, Vec2::new(8.0, 0.0));
     }
 
     #[test]

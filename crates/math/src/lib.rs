@@ -21,6 +21,7 @@ pub mod db;
 pub mod rng;
 pub mod stats;
 pub mod vec2;
+pub mod wire;
 
 pub use angle::{wrap_deg_180, wrap_deg_360, AngleDeg};
 pub use complex::C64;
@@ -28,3 +29,4 @@ pub use db::{amplitude_to_db, db_to_amplitude, db_to_linear, dbm_to_watts, linea
 pub use rng::SimRng;
 pub use stats::{Cdf, Summary};
 pub use vec2::Vec2;
+pub use wire::{fnv1a64, WireError, WireReader, WireWriter};

@@ -66,6 +66,30 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// The raw xoshiro256\*\* state words, for checkpointing. Feeding the
+    /// returned array to [`SimRng::from_state`] reproduces a stream that
+    /// continues the exact draw sequence from this point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a stream from state words captured by [`SimRng::state`].
+    ///
+    /// The all-zero state is the one fixed point of xoshiro (it only
+    /// produces zeros); it is unreachable from any seeded stream, so
+    /// encountering it means the words were corrupted — it is remapped to
+    /// the same guard state `seed_from_u64` uses rather than propagating a
+    /// degenerate generator.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            SimRng {
+                s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+            }
+        } else {
+            SimRng { s }
+        }
+    }
+
     /// Next raw 64-bit draw (xoshiro256\*\* reference algorithm).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -243,6 +267,59 @@ mod tests {
     }
 
     #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        // Checkpoint contract: capture `state()` anywhere in a stream and
+        // `from_state` continues with bit-identical draws.
+        let mut r = SimRng::seed_from_u64(42);
+        for _ in 0..17 {
+            r.next_u64();
+        }
+        let saved = r.state();
+        let tail: Vec<u64> = (0..64).map(|_| r.next_u64()).collect();
+        let mut resumed = SimRng::from_state(saved);
+        let resumed_tail: Vec<u64> = (0..64).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
+        // Restoring is lossless: the captured words come back verbatim.
+        assert_eq!(SimRng::from_state(saved).state(), saved);
+        // And both streams now sit at the same point.
+        assert_eq!(r.state(), resumed.state());
+    }
+
+    #[test]
+    fn forked_stream_state_round_trips() {
+        // Forks are ordinary streams: their state captures and restores
+        // independently of the parent, and restoring a fork must not
+        // disturb what the parent draws next.
+        let mut parent = SimRng::seed_from_u64(7);
+        let mut fork = parent.fork(3);
+        fork.next_u64();
+        let fork_state = fork.state();
+        let parent_state = parent.state();
+
+        let fork_tail: Vec<u64> = (0..32).map(|_| fork.next_u64()).collect();
+        let parent_tail: Vec<u64> = (0..32).map(|_| parent.next_u64()).collect();
+
+        let mut fork2 = SimRng::from_state(fork_state);
+        let mut parent2 = SimRng::from_state(parent_state);
+        assert_eq!(fork_tail, (0..32).map(|_| fork2.next_u64()).collect::<Vec<_>>());
+        assert_eq!(
+            parent_tail,
+            (0..32).map(|_| parent2.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_zero_state_is_remapped_not_propagated() {
+        // [0,0,0,0] is xoshiro's fixed point; from_state must substitute
+        // the same guard state seeding uses instead of a stuck stream.
+        let mut r = SimRng::from_state([0, 0, 0, 0]);
+        let a = r.next_u64();
+        let b = r.next_u64();
+        assert!(a != 0 || b != 0, "all-zero state produced a stuck stream");
+        assert_ne!(r.state(), [0, 0, 0, 0]);
+    }
+
+    #[test]
     fn forks_are_deterministic_and_distinct() {
         let mut parent1 = SimRng::seed_from_u64(7);
         let mut parent2 = SimRng::seed_from_u64(7);
@@ -347,6 +424,69 @@ mod tests {
             seen_hi |= v == 3;
         }
         assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn state_round_trip_continues_sequence() {
+        let mut r = SimRng::seed_from_u64(42);
+        for _ in 0..57 {
+            r.next_u64();
+        }
+        let saved = r.state();
+        let expected: Vec<u64> = (0..100).map(|_| r.next_u64()).collect();
+        let mut restored = SimRng::from_state(saved);
+        let got: Vec<u64> = (0..100).map(|_| restored.next_u64()).collect();
+        assert_eq!(got, expected, "restored stream must continue bit-exactly");
+        assert_eq!(restored, r, "states converge after identical draws");
+    }
+
+    #[test]
+    fn state_round_trip_of_forked_stream() {
+        // A fork captured mid-flight must also resume bit-exactly, and
+        // restoring the parent must not disturb the child (and vice versa).
+        let mut parent = SimRng::seed_from_u64(7);
+        parent.next_u64();
+        let mut child = parent.fork(0xBEEF);
+        child.next_u64();
+        child.next_u64();
+
+        let parent_state = parent.state();
+        let child_state = child.state();
+
+        let parent_expected: Vec<u64> = (0..32).map(|_| parent.next_u64()).collect();
+        let child_expected: Vec<u64> = (0..32).map(|_| child.next_u64()).collect();
+
+        let mut parent_r = SimRng::from_state(parent_state);
+        let mut child_r = SimRng::from_state(child_state);
+        // Interleave the restored draws to show the streams are independent.
+        let mut parent_got = Vec::new();
+        let mut child_got = Vec::new();
+        for _ in 0..32 {
+            parent_got.push(parent_r.next_u64());
+            child_got.push(child_r.next_u64());
+        }
+        assert_eq!(parent_got, parent_expected);
+        assert_eq!(child_got, child_expected);
+    }
+
+    #[test]
+    fn restored_stream_forks_identically() {
+        // fork() is part of the stream contract: a restored stream must
+        // produce the same children the original would have.
+        let mut a = SimRng::seed_from_u64(99);
+        a.next_u64();
+        let mut b = SimRng::from_state(a.state());
+        let mut fa = a.fork(3);
+        let mut fb = b.fork(3);
+        assert_eq!(fa.next_u64(), fb.next_u64());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_zero_state_is_remapped_not_degenerate() {
+        let mut r = SimRng::from_state([0, 0, 0, 0]);
+        // The xoshiro fixed point would emit only zeros forever.
+        assert!((0..8).any(|_| r.next_u64() != 0));
     }
 
     #[test]

@@ -67,6 +67,30 @@ impl Summary {
         self.max = self.max.max(other.max);
     }
 
+    /// The raw Welford accumulator `(count, mean, m2, min, max)`, for
+    /// checkpointing. `m2` is the running sum of squared deviations that
+    /// backs [`Summary::variance`]; exposing it (rather than the derived
+    /// variance) lets [`Summary::from_welford_state`] rebuild a summary
+    /// whose future updates are bit-identical to the original's.
+    pub fn welford_state(&self) -> (usize, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds a summary from a [`Summary::welford_state`] tuple. The
+    /// fields are restored verbatim — including the empty-summary
+    /// sentinels `min = +inf` / `max = -inf` — so capture → restore is the
+    /// identity on the accumulator state.
+    pub fn from_welford_state(state: (usize, f64, f64, f64, f64)) -> Self {
+        let (count, mean, m2, min, max) = state;
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> usize {
         self.count
@@ -270,6 +294,27 @@ mod tests {
         let mut d2 = direct;
         d2.merge(&Summary::new());
         assert_eq!(d2.count(), direct.count());
+    }
+
+    #[test]
+    fn welford_state_round_trip_is_bit_identical() {
+        let mut a = Summary::from_slice(&[1.0, 2.5, -3.0, 0.125]);
+        let mut b = Summary::from_welford_state(a.welford_state());
+        // Identical future updates stay bit-identical, not just close.
+        for v in [7.0, -0.5, 1e9, 3.25] {
+            a.push(v);
+            b.push(v);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+        assert_eq!(a.min().to_bits(), b.min().to_bits());
+        assert_eq!(a.max().to_bits(), b.max().to_bits());
+        // Empty-summary sentinels survive the round trip too.
+        let e = Summary::from_welford_state(Summary::new().welford_state());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), f64::INFINITY);
+        assert_eq!(e.max(), f64::NEG_INFINITY);
     }
 
     #[test]

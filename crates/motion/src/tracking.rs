@@ -65,6 +65,23 @@ impl LighthouseTracker {
         }
     }
 
+    /// The full mutable state — `(rng_state, last_update_s, last_pose)` —
+    /// for checkpointing. `last_update_s` starts at `-inf` before the
+    /// first tick; the f64 is preserved bit-exactly by the snapshot codec.
+    pub fn state(&self) -> ([u64; 4], f64, Option<TrackedPose>) {
+        (self.rng.state(), self.last_update_s, self.last_pose)
+    }
+
+    /// Restores the mutable state captured by [`LighthouseTracker::state`].
+    /// Noise parameters and update rate are config, not state — they come
+    /// from the constructor, and only the estimation progress is restored.
+    pub fn restore_state(&mut self, state: ([u64; 4], f64, Option<TrackedPose>)) {
+        let (rng, last_update_s, last_pose) = state;
+        self.rng = SimRng::from_state(rng);
+        self.last_update_s = last_update_s;
+        self.last_pose = last_pose;
+    }
+
     /// Observes the true pose at time `t_s` and returns the tracker's
     /// estimate. Between update ticks the previous estimate is returned
     /// (the tracker has its own cadence, independent of the caller's).

@@ -57,5 +57,5 @@ mod recorder;
 
 pub use capture::{null_capture, Capture};
 pub use event::{Event, Value};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Histogram, InvalidHistogram, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{JsonlWriter, MemoryRecorder, NullRecorder, Recorder, SpanId};

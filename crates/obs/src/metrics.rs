@@ -67,6 +67,44 @@ impl Histogram {
         Histogram::from_edges((0..=n_buckets).map(|i| lo * ratio.powi(i as i32)).collect())
     }
 
+    /// Rebuilds a histogram from checkpointed parts, re-validating every
+    /// layout invariant — the parts come from external bytes, so a bad
+    /// layout must surface as an error, not a later panic or misbin.
+    pub fn from_parts(
+        edges: Vec<f64>,
+        counts: Vec<u64>,
+        total: u64,
+        summary: Summary,
+    ) -> Result<Self, InvalidHistogram> {
+        if edges.len() < 2 {
+            return Err(InvalidHistogram {
+                what: "fewer than two bucket edges",
+            });
+        }
+        if !edges.windows(2).all(|w| w[0] < w[1]) {
+            return Err(InvalidHistogram {
+                what: "bucket edges not strictly increasing",
+            });
+        }
+        if counts.len() != edges.len() + 1 {
+            return Err(InvalidHistogram {
+                what: "bucket count list does not match edge count",
+            });
+        }
+        let sum: u64 = counts.iter().sum();
+        if sum != total {
+            return Err(InvalidHistogram {
+                what: "total does not equal the sum of bucket counts",
+            });
+        }
+        Ok(Histogram {
+            edges,
+            counts,
+            total,
+            summary,
+        })
+    }
+
     /// Records one observation.
     pub fn observe(&mut self, v: f64) {
         if v.is_nan() {
@@ -155,6 +193,22 @@ impl Histogram {
     }
 }
 
+/// Error from [`Histogram::from_parts`]: the checkpointed parts violate a
+/// histogram layout invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidHistogram {
+    /// Which invariant failed.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for InvalidHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid histogram parts: {}", self.what)
+    }
+}
+
+impl std::error::Error for InvalidHistogram {}
+
 fn write_json_f64(out: &mut String, x: f64) {
     if x.is_finite() {
         let _ = write!(out, "{x}");
@@ -200,6 +254,19 @@ impl MetricsRegistry {
         mk: impl FnOnce() -> Histogram,
     ) -> &mut Histogram {
         self.histograms.entry(name).or_insert_with(mk)
+    }
+
+    /// Sets counter `name` to an absolute value (checkpoint restore —
+    /// normal accounting should use [`MetricsRegistry::inc`]/
+    /// [`MetricsRegistry::add`]).
+    pub fn set_counter(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(name, v);
+    }
+
+    /// Installs a fully-built histogram under `name`, replacing any
+    /// existing one (checkpoint restore).
+    pub fn insert_histogram(&mut self, name: &'static str, h: Histogram) {
+        self.histograms.insert(name, h);
     }
 
     /// An immutable, cloneable snapshot of everything, sorted by name.

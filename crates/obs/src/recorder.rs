@@ -75,6 +75,22 @@ impl MemoryRecorder {
         Self::default()
     }
 
+    /// An empty recorder whose span-id counter starts at `next`. A
+    /// recorder picking up after a checkpoint must continue the original
+    /// numbering — span ids appear verbatim in the event stream, so a
+    /// reset counter would make the resumed timeline diverge.
+    pub fn with_next_span_id(next: u64) -> Self {
+        MemoryRecorder {
+            events: Vec::new(),
+            next_span: next,
+        }
+    }
+
+    /// The id the next [`Recorder::start_span`] will mint.
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span
+    }
+
     /// All recorded events, in order.
     pub fn events(&self) -> &[Event] {
         &self.events
@@ -172,6 +188,22 @@ impl<W: io::Write> JsonlWriter<W> {
         }
     }
 
+    /// Wraps a writer with the span-id counter starting at `next`, so a
+    /// resumed session's stream continues the original numbering (see
+    /// [`MemoryRecorder::with_next_span_id`]).
+    pub fn with_next_span_id(sink: W, next: u64) -> Self {
+        JsonlWriter {
+            sink,
+            next_span: next,
+            lines: 0,
+        }
+    }
+
+    /// The id the next [`Recorder::start_span`] will mint.
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span
+    }
+
     /// Lines written so far.
     pub fn lines(&self) -> u64 {
         self.lines
@@ -261,6 +293,28 @@ mod tests {
         assert_eq!(w.lines(), 3);
         let bytes = w.into_inner();
         assert_eq!(String::from_utf8(bytes).unwrap(), mem.to_jsonl());
+    }
+
+    #[test]
+    fn span_counter_continues_across_recorders() {
+        // Phase A records two spans, then a fresh recorder seeded with
+        // A's counter continues the numbering exactly.
+        let mut a = MemoryRecorder::new();
+        a.start_span(SimTime::ZERO, "one");
+        a.start_span(SimTime::ZERO, "two");
+        let mut b = MemoryRecorder::with_next_span_id(a.next_span_id());
+        assert_eq!(b.start_span(SimTime::ZERO, "three"), SpanId(2));
+
+        let mut w = JsonlWriter::with_next_span_id(Vec::new(), 2);
+        assert_eq!(w.next_span_id(), 2);
+        assert_eq!(w.start_span(SimTime::ZERO, "three"), SpanId(2));
+        // The rendered line is identical to the uninterrupted recorder's.
+        let mut full = MemoryRecorder::new();
+        full.start_span(SimTime::ZERO, "one");
+        full.start_span(SimTime::ZERO, "two");
+        full.start_span(SimTime::ZERO, "three");
+        let joined = a.to_jsonl() + &b.to_jsonl();
+        assert_eq!(joined, full.to_jsonl());
     }
 
     #[test]

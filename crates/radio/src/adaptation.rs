@@ -63,6 +63,42 @@ pub trait RateAdapter {
     }
 }
 
+/// Error restoring a rate-adapter checkpoint: the stored MCS index does
+/// not exist in the rate table (snapshot corruption or a table change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadMcsIndex {
+    /// The stored index.
+    pub index: usize,
+    /// Number of entries in the current rate table.
+    pub table_len: usize,
+}
+
+impl std::fmt::Display for BadMcsIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MCS index {} out of range for a {}-entry rate table",
+            self.index, self.table_len
+        )
+    }
+}
+
+impl std::error::Error for BadMcsIndex {}
+
+/// Maps a checkpointed MCS index back to the table entry.
+fn entry_for(index: Option<usize>) -> Result<Option<&'static McsEntry>, BadMcsIndex> {
+    match index {
+        None => Ok(None),
+        Some(i) => {
+            let entries = RateTable.entries();
+            entries.get(i).map(Some).ok_or(BadMcsIndex {
+                index: i,
+                table_len: entries.len(),
+            })
+        }
+    }
+}
+
 /// Threshold selection with a fixed safety backoff.
 #[derive(Debug, Clone)]
 pub struct SnrThreshold {
@@ -80,6 +116,17 @@ impl SnrThreshold {
             backoff_db,
             current: None,
         }
+    }
+
+    /// Index of the currently selected MCS, for checkpointing.
+    pub fn current_index(&self) -> Option<usize> {
+        self.current.map(|m| m.index)
+    }
+
+    /// Restores the selection from a checkpointed index.
+    pub fn restore_current(&mut self, index: Option<usize>) -> Result<(), BadMcsIndex> {
+        self.current = entry_for(index)?;
+        Ok(())
     }
 }
 
@@ -126,6 +173,29 @@ impl Hysteresis {
 
     fn index_of(mcs: Option<&'static McsEntry>) -> Option<usize> {
         mcs.map(|m| m.index)
+    }
+
+    /// Index of the currently selected MCS, for checkpointing.
+    pub fn current_index(&self) -> Option<usize> {
+        Self::index_of(self.current)
+    }
+
+    /// Consecutive qualifying up-reports accumulated so far — part of the
+    /// checkpointed state, since an in-flight streak changes when the next
+    /// upgrade happens.
+    pub fn up_streak(&self) -> usize {
+        self.up_streak
+    }
+
+    /// Restores the selection and upgrade streak from a checkpoint.
+    pub fn restore_state(
+        &mut self,
+        index: Option<usize>,
+        up_streak: usize,
+    ) -> Result<(), BadMcsIndex> {
+        self.current = entry_for(index)?;
+        self.up_streak = up_streak;
+        Ok(())
     }
 }
 
@@ -177,6 +247,19 @@ impl RateAdapter for Hysteresis {
 #[derive(Debug, Clone, Default)]
 pub struct Oracle {
     current: Option<&'static McsEntry>,
+}
+
+impl Oracle {
+    /// Index of the currently selected MCS, for checkpointing.
+    pub fn current_index(&self) -> Option<usize> {
+        self.current.map(|m| m.index)
+    }
+
+    /// Restores the selection from a checkpointed index.
+    pub fn restore_current(&mut self, index: Option<usize>) -> Result<(), BadMcsIndex> {
+        self.current = entry_for(index)?;
+        Ok(())
+    }
 }
 
 impl RateAdapter for Oracle {

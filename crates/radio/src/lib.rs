@@ -25,7 +25,7 @@ pub mod per;
 pub mod sls;
 pub mod tone;
 
-pub use adaptation::{Hysteresis, Oracle, RateAdapter, SnrThreshold};
+pub use adaptation::{BadMcsIndex, Hysteresis, Oracle, RateAdapter, SnrThreshold};
 pub use endpoint::{evaluate_link, ArrayPattern, RadioEndpoint};
 pub use frame::FrameConfig;
 pub use sls::{sector_level_sweep, SlsConfig, SlsResult};

@@ -157,6 +157,16 @@ impl Scene {
         self.obstacles = obstacles;
     }
 
+    /// Restores the obstacle set *and* the epoch counter exactly, for
+    /// checkpoint restore. Unlike [`Scene::set_obstacles`], this does not
+    /// bump the generation: a resumed session must observe the same epoch
+    /// sequence as the uninterrupted run, or (generation-keyed) path
+    /// caches would diverge between the two.
+    pub fn restore_obstacle_state(&mut self, obstacles: Vec<Obstacle>, generation: u64) {
+        self.obstacles = obstacles;
+        self.generation = generation;
+    }
+
     /// Traces propagation paths between two points under the current
     /// obstacle set.
     pub fn paths_between(&self, tx: Vec2, rx: Vec2) -> Vec<Path> {

@@ -18,5 +18,5 @@ pub mod queue;
 pub mod time;
 
 pub use par::{available_threads, par_map};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, PastEventError};
 pub use time::{Periodic, SimTime};

@@ -142,7 +142,70 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Pending events in the exact order [`EventQueue::next`] would pop
+    /// them: ascending timestamp, FIFO among equal timestamps. This is the
+    /// canonical serialization order for checkpoints — a queue rebuilt
+    /// from this list with [`EventQueue::restore`] pops identically.
+    pub fn pending_in_pop_order(&self) -> Vec<(SimTime, &E)> {
+        let mut entries: Vec<&Scheduled<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|s| (s.at, s.seq));
+        entries.into_iter().map(|s| (s.at, &s.event)).collect()
+    }
+
+    /// Rebuilds a queue from a clock value and events listed in pop order
+    /// (as produced by [`EventQueue::pending_in_pop_order`]). Sequence
+    /// numbers are re-minted `0..n` in list order, so FIFO ties are
+    /// preserved even though the original counters are not stored.
+    ///
+    /// Returns an error instead of panicking when an event predates `now`
+    /// — restore input is external data (a snapshot file), not a
+    /// simulation invariant.
+    pub fn restore(
+        now: SimTime,
+        events: Vec<(SimTime, E)>,
+    ) -> Result<Self, PastEventError> {
+        let mut q = EventQueue {
+            heap: BinaryHeap::with_capacity(events.len()),
+            now,
+            seq: 0,
+        };
+        for (at, event) in events {
+            if at < now {
+                return Err(PastEventError { at, now });
+            }
+            q.heap.push(Scheduled {
+                at,
+                seq: q.seq,
+                event,
+            });
+            q.seq += 1;
+        }
+        Ok(q)
+    }
 }
+
+/// Error from [`EventQueue::restore`]: an event timestamp predates the
+/// restored clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PastEventError {
+    /// The offending event's timestamp.
+    pub at: SimTime,
+    /// The clock value being restored.
+    pub now: SimTime,
+}
+
+impl std::fmt::Display for PastEventError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pending event at {} predates restored clock {}",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for PastEventError {}
 
 #[cfg(test)]
 mod tests {
@@ -233,6 +296,64 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn equal_time_events_serialize_in_fifo_order() {
+        // Pin the tie-break before trusting serialization: events at one
+        // instant must list (and round-trip) in scheduling order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(9);
+        q.schedule_at(SimTime::from_millis(20), "late");
+        for name in ["first", "second", "third"] {
+            q.schedule_at(t, name);
+        }
+        let listed: Vec<&str> = q.pending_in_pop_order().iter().map(|&(_, &e)| e).collect();
+        assert_eq!(listed, ["first", "second", "third", "late"]);
+    }
+
+    #[test]
+    fn restore_round_trip_preserves_pop_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(4), "a");
+        q.next(); // advance the clock so `now` is non-trivial
+        let t = SimTime::from_millis(12);
+        q.schedule_at(t, "x");
+        q.schedule_at(SimTime::from_millis(30), "z");
+        q.schedule_at(t, "y");
+
+        let dumped: Vec<(SimTime, &str)> = q
+            .pending_in_pop_order()
+            .into_iter()
+            .map(|(at, &e)| (at, e))
+            .collect();
+        let mut restored = EventQueue::restore(q.now(), dumped).unwrap();
+        assert_eq!(restored.now(), q.now());
+        assert_eq!(restored.len(), q.len());
+        let mut orig_pops = Vec::new();
+        let mut rest_pops = Vec::new();
+        while let Some(p) = q.next() {
+            orig_pops.push(p);
+        }
+        while let Some(p) = restored.next() {
+            rest_pops.push(p);
+        }
+        assert_eq!(orig_pops, rest_pops);
+    }
+
+    #[test]
+    fn restore_rejects_past_events_without_panicking() {
+        let err = match EventQueue::restore(
+            SimTime::from_millis(10),
+            vec![(SimTime::from_millis(5), ())],
+        ) {
+            Ok(_) => panic!("past event must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err.at, SimTime::from_millis(5));
+        assert_eq!(err.now, SimTime::from_millis(10));
+        // The message is actionable for snapshot debugging.
+        assert!(format!("{err}").contains("predates"));
     }
 
     #[test]

@@ -72,6 +72,32 @@ impl GlitchTracker {
         self.current_stall
     }
 
+    /// The full accumulator state `(total, delivered, events,
+    /// current_stall, longest_stall)`, for checkpointing. `current_stall`
+    /// matters: a resume in the middle of a stall must keep extending the
+    /// same glitch event rather than opening a new one.
+    pub fn state(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.total,
+            self.delivered,
+            self.events,
+            self.current_stall,
+            self.longest_stall,
+        )
+    }
+
+    /// Rebuilds a tracker from a [`GlitchTracker::state`] tuple.
+    pub fn from_state(state: (usize, usize, usize, usize, usize)) -> Self {
+        let (total, delivered, events, current_stall, longest_stall) = state;
+        GlitchTracker {
+            total,
+            delivered,
+            events,
+            current_stall,
+            longest_stall,
+        }
+    }
+
     /// The report so far.
     pub fn report(&self) -> GlitchReport {
         GlitchReport {
@@ -154,6 +180,23 @@ mod tests {
         assert_eq!(r.frames_total, 0);
         assert_eq!(r.loss_rate, 0.0);
         assert!(!r.loss_rate.is_nan());
+    }
+
+    #[test]
+    fn state_round_trip_mid_stall_extends_same_event() {
+        let mut a = GlitchTracker::new();
+        for d in [true, false, false] {
+            a.record(d); // cut in the middle of a 4-frame stall
+        }
+        let mut b = GlitchTracker::from_state(a.state());
+        for d in [false, false, true, false] {
+            a.record(d);
+            b.record(d);
+        }
+        assert_eq!(a.state(), b.state());
+        let r = b.report();
+        assert_eq!(r.glitch_events, 2, "resume must not split the stall");
+        assert_eq!(r.longest_stall_frames, 4);
     }
 
     #[test]

@@ -33,6 +33,23 @@ cargo test -q --offline
 echo "==> workspace tests (all crates)"
 cargo test --workspace -q --offline
 
+echo "==> checkpoint gate: random-cut resume bit-identity + corruption rejection"
+cargo test -q --offline --test checkpoint
+
+echo "==> checkpoint smoke: snapshot in one process, resume in a second, diff JSONL"
+mkdir -p out/checkpoint
+rm -f out/checkpoint/snap.bin out/checkpoint/snap.bin.spanid \
+      out/checkpoint/part1.jsonl out/checkpoint/part2.jsonl out/checkpoint/full.jsonl
+cargo run -q --release --offline --example checkpoint_resume -- \
+    part1 out/checkpoint/snap.bin out/checkpoint/part1.jsonl
+cargo run -q --release --offline --example checkpoint_resume -- \
+    part2 out/checkpoint/snap.bin out/checkpoint/part2.jsonl
+cargo run -q --release --offline --example checkpoint_resume -- \
+    full out/checkpoint/full.jsonl
+cat out/checkpoint/part1.jsonl out/checkpoint/part2.jsonl \
+    | cmp - out/checkpoint/full.jsonl
+echo "two-process timeline is byte-identical to the uninterrupted run"
+
 echo "==> workspace is warning-clean under -Dwarnings"
 RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
 

@@ -161,3 +161,46 @@ fn recording_does_not_perturb_the_session() {
     }
     assert!(!mem.is_empty(), "the memory recorder did observe the run");
 }
+
+#[test]
+fn resume_from_snapshot_is_equivalent_to_the_uninterrupted_run() {
+    // Determinism across a checkpoint boundary: cutting the canonical
+    // recorded scenario mid-run, round-tripping through snapshot bytes,
+    // and resuming must reproduce the uninterrupted run's outcome and
+    // JSONL timeline byte-for-byte. (The randomized version of this gate
+    // lives in tests/checkpoint.rs; this pins the canonical scenario.)
+    use movr::session::Session;
+    use movr_motion::MotionTrace;
+
+    let (trace, cfg) = recorded_scenario();
+    let mut full_rec = MemoryRecorder::new();
+    let mut full = Session::new(&cfg);
+    while full.step_frame_recorded(&trace, &mut full_rec) {}
+    let full_out = full.outcome(trace.duration_s());
+
+    let mut rec_a = MemoryRecorder::new();
+    let mut first = Session::new(&cfg);
+    for _ in 0..60 {
+        assert!(first.step_frame_recorded(&trace, &mut rec_a));
+    }
+    let bytes = first.snapshot();
+    drop(first);
+
+    let mut resumed = Session::restore(&bytes, &cfg).expect("snapshot restores");
+    let mut rec_b = MemoryRecorder::with_next_span_id(rec_a.next_span_id());
+    while resumed.step_frame_recorded(&trace, &mut rec_b) {}
+    let resumed_out = resumed.outcome(trace.duration_s());
+
+    assert_eq!(full.frames(), resumed.frames());
+    assert_eq!(full_out.glitches, resumed_out.glitches);
+    assert_eq!(full_out.mean_snr_db.to_bits(), resumed_out.mean_snr_db.to_bits());
+    assert_eq!(full_out.min_snr_db.to_bits(), resumed_out.min_snr_db.to_bits());
+    assert_eq!(full_out.mode_switches, resumed_out.mode_switches);
+    assert_eq!(full_out.realignments, resumed_out.realignments);
+    assert_eq!(full_out.metrics.to_json(), resumed_out.metrics.to_json());
+    assert_eq!(
+        full_rec.to_jsonl(),
+        rec_a.to_jsonl() + &rec_b.to_jsonl(),
+        "stitched timeline must be byte-identical to the one-process run"
+    );
+}
