@@ -418,6 +418,7 @@ impl Session {
 
         let rate_before = st.adapter.current_index();
         let mut frame_mcs: Option<&'static McsEntry> = None;
+        let mut frame_airtime: Option<SimTime> = None;
         let delivered = if config.strategy == Strategy::Tethered {
             true
         } else {
@@ -439,6 +440,7 @@ impl Session {
                         .burst_airtime(mcs, config.traffic.frame_bits as u64);
                     let airtime =
                         SimTime::from_secs_f64(base.as_secs_f64() / (1.0 - per));
+                    frame_airtime = Some(airtime);
                     airtime_hist(&mut st.metrics).observe(airtime.as_nanos() as f64);
                     let stall = st.blocked_until.saturating_since(now);
                     config.latency.meets_deadline(airtime, stall)
@@ -470,6 +472,9 @@ impl Session {
                 .with("stall_ns", st.blocked_until.saturating_since(now));
             if let Some(mcs) = frame_mcs {
                 e = e.with("mcs", mcs.index as u64);
+            }
+            if let Some(airtime) = frame_airtime {
+                e = e.with("airtime_ns", airtime);
             }
             if let Some(mode) = frame_mode {
                 e = e.with("mode", mode_name(mode));

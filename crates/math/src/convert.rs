@@ -40,6 +40,15 @@ pub fn f64_to_u64(x: f64) -> u64 {
     x as u64
 }
 
+/// `usize → i32` for small structural indices crossing into `i32` APIs
+/// (`f64::powi` exponents for bucket-edge construction).
+///
+/// Saturates at `i32::MAX`; every in-tree caller passes bucket or
+/// element counts far below 2^31, so in practice lossless.
+pub fn usize_to_i32(n: usize) -> i32 {
+    i32::try_from(n).unwrap_or(i32::MAX)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +67,12 @@ mod tests {
         assert_eq!(f64_to_u64(0.0), 0);
         assert_eq!(f64_to_u64(-3.0), 0);
         assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn usize_to_i32_saturates() {
+        assert_eq!(usize_to_i32(0), 0);
+        assert_eq!(usize_to_i32(4096), 4096);
+        assert_eq!(usize_to_i32(usize::MAX), i32::MAX);
     }
 }

@@ -11,6 +11,7 @@
 //! use Rust's shortest-roundtrip `Display`, and non-finite floats become
 //! `null` (JSON has no `inf`/`NaN`).
 
+use movr_math::convert::usize_to_u64;
 use movr_sim::SimTime;
 use std::fmt::Write as _;
 
@@ -41,7 +42,7 @@ impl From<u64> for Value {
 }
 impl From<usize> for Value {
     fn from(v: usize) -> Self {
-        Value::U64(v as u64)
+        Value::U64(usize_to_u64(v))
     }
 }
 impl From<i64> for Value {
@@ -120,8 +121,8 @@ fn write_json_str(out: &mut String, s: &str) {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }

@@ -52,10 +52,22 @@
 
 mod capture;
 mod event;
+mod jsonv;
 mod metrics;
+mod ratchet;
 mod recorder;
+mod reduce;
+mod rollup;
+mod sketch;
 
 pub use capture::{null_capture, Capture};
 pub use event::{Event, Value};
-pub use metrics::{Histogram, InvalidHistogram, MetricsRegistry, MetricsSnapshot};
-pub use recorder::{JsonlWriter, MemoryRecorder, NullRecorder, Recorder, SpanId};
+pub use jsonv::{Json, JsonError};
+pub use metrics::{Histogram, InvalidHistogram, MergeError, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{
+    JsonlSinkError, JsonlWriter, MemoryRecorder, NullRecorder, Recorder, SessionTagged, SpanId,
+};
+pub use ratchet::{check, parse_baseline, BenchBaseline, BenchPin, CheckOutcome, RatchetError, SpeedupPin};
+pub use reduce::{reduce_lines, reduce_one_stream, reduce_streams, ReduceError};
+pub use rollup::{diff_json, DiffEntry, Rollup, SessionRollup, FLEET_SKETCHES};
+pub use sketch::{Sketch, SketchSpec, Spacing};

@@ -12,6 +12,7 @@
 //! underflow and overflow buckets so no observation is ever dropped. A
 //! [`movr_math::Summary`] rides along for exact mean/min/max.
 
+use movr_math::convert::{usize_to_f64, usize_to_i32};
 use movr_math::Summary;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -53,8 +54,8 @@ impl Histogram {
     pub fn linear(lo: f64, hi: f64, n_buckets: usize) -> Self {
         assert!(n_buckets >= 1, "need at least one bucket");
         assert!(lo < hi, "lo must be below hi");
-        let w = (hi - lo) / n_buckets as f64;
-        Histogram::from_edges((0..=n_buckets).map(|i| lo + w * i as f64).collect())
+        let w = (hi - lo) / usize_to_f64(n_buckets);
+        Histogram::from_edges((0..=n_buckets).map(|i| lo + w * usize_to_f64(i)).collect())
     }
 
     /// `n_buckets` geometrically spaced buckets spanning `[lo, hi)` with
@@ -63,8 +64,10 @@ impl Histogram {
     pub fn log_spaced(lo: f64, hi: f64, n_buckets: usize) -> Self {
         assert!(n_buckets >= 1, "need at least one bucket");
         assert!(lo > 0.0 && lo < hi, "log spacing needs 0 < lo < hi");
-        let ratio = (hi / lo).powf(1.0 / n_buckets as f64);
-        Histogram::from_edges((0..=n_buckets).map(|i| lo * ratio.powi(i as i32)).collect())
+        let ratio = (hi / lo).powf(1.0 / usize_to_f64(n_buckets));
+        Histogram::from_edges(
+            (0..=n_buckets).map(|i| lo * ratio.powi(usize_to_i32(i))).collect(),
+        )
     }
 
     /// Rebuilds a histogram from checkpointed parts, re-validating every
@@ -153,17 +156,28 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics if the bucket layouts differ — merging histograms with
-    /// different edges would silently misbin.
+    /// different edges would silently misbin. Callers folding layouts
+    /// they did not construct themselves (e.g. the fleet reducer merging
+    /// rollups) should use [`Histogram::try_merge`] instead.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(
-            self.edges, other.edges,
-            "cannot merge histograms with different bucket edges"
-        );
+        if let Err(e) = self.try_merge(other) {
+            panic!("cannot merge histograms with different bucket edges: {e}");
+        }
+    }
+
+    /// Fallible [`Histogram::merge`]: adds `other`'s counts and summary
+    /// into `self`, or returns a structured [`MergeError`] when the
+    /// bucket layouts differ. On error `self` is untouched.
+    pub fn try_merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.edges != other.edges {
+            return Err(MergeError::new(&self.edges, &other.edges));
+        }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
         self.total += other.total;
         self.summary.merge(&other.summary);
+        Ok(())
     }
 
     fn write_json(&self, out: &mut String) {
@@ -209,7 +223,55 @@ impl std::fmt::Display for InvalidHistogram {
 
 impl std::error::Error for InvalidHistogram {}
 
-fn write_json_f64(out: &mut String, x: f64) {
+/// Error from [`Histogram::try_merge`]: the two histograms have
+/// different bucket layouts, so their counts cannot be combined without
+/// misbinning. Carries a compact description of both layouts for the
+/// report that surfaces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeError {
+    /// Interior-edge count of the merge target.
+    pub self_edges: usize,
+    /// Interior-edge count of the histogram being merged in.
+    pub other_edges: usize,
+    /// `[first, last]` edge of the merge target.
+    pub self_span: [f64; 2],
+    /// `[first, last]` edge of the histogram being merged in.
+    pub other_span: [f64; 2],
+}
+
+impl MergeError {
+    pub(crate) fn new(self_edges: &[f64], other_edges: &[f64]) -> Self {
+        let span = |e: &[f64]| match (e.first(), e.last()) {
+            (Some(&a), Some(&b)) => [a, b],
+            _ => [f64::NAN, f64::NAN],
+        };
+        MergeError {
+            self_edges: self_edges.len(),
+            other_edges: other_edges.len(),
+            self_span: span(self_edges),
+            other_span: span(other_edges),
+        }
+    }
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bucket layouts differ: {} edges spanning [{}, {}] vs {} edges spanning [{}, {}]",
+            self.self_edges,
+            self.self_span[0],
+            self.self_span[1],
+            self.other_edges,
+            self.other_span[0],
+            self.other_span[1],
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+pub(crate) fn write_json_f64(out: &mut String, x: f64) {
     if x.is_finite() {
         let _ = write!(out, "{x}");
     } else {
@@ -457,6 +519,34 @@ mod tests {
     fn merge_rejects_mismatched_layout() {
         let mut a = Histogram::linear(0.0, 10.0, 5);
         a.merge(&Histogram::linear(0.0, 10.0, 4));
+    }
+
+    #[test]
+    fn try_merge_reports_mismatch_without_panicking() {
+        let mut a = Histogram::linear(0.0, 10.0, 5);
+        a.observe(3.0);
+        let before = a.bucket_counts().to_vec();
+        let err = a.try_merge(&Histogram::linear(0.0, 12.0, 4)).unwrap_err();
+        assert_eq!(err.self_edges, 6);
+        assert_eq!(err.other_edges, 5);
+        assert_eq!(err.self_span, [0.0, 10.0]);
+        assert_eq!(err.other_span, [0.0, 12.0]);
+        let msg = err.to_string();
+        assert!(msg.contains("6 edges") && msg.contains("[0, 12]"), "{msg}");
+        // The failed merge left the target untouched.
+        assert_eq!(a.bucket_counts(), &before[..]);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn try_merge_succeeds_on_matching_layout() {
+        let mut a = Histogram::log_spaced(1.0, 1e6, 12);
+        let mut b = Histogram::log_spaced(1.0, 1e6, 12);
+        a.observe(10.0);
+        b.observe(1e5);
+        assert!(a.try_merge(&b).is_ok());
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.summary().max(), 1e5);
     }
 
     #[test]

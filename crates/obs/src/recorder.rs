@@ -166,16 +166,47 @@ impl Recorder for MemoryRecorder {
     }
 }
 
+/// Error surfaced by [`JsonlWriter::finish`]: the sink failed while
+/// writing or flushing the timeline, at the 1-based line given. Every
+/// event offered after the first failure was dropped (the stream is
+/// already truncated; appending past a hole would corrupt it further).
+#[derive(Debug)]
+pub struct JsonlSinkError {
+    /// 1-based line number of the write that failed (for a flush
+    /// failure, the number of the line that could not be committed + 1).
+    pub line: u64,
+    /// The underlying I/O error.
+    pub error: io::Error,
+}
+
+impl std::fmt::Display for JsonlSinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSONL sink failed at line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for JsonlSinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
 /// Streams events as JSON lines to an `io::Write` sink.
 ///
-/// # Panics
-/// Panics if the underlying writer fails: a broken timeline sink mid-run
-/// would silently truncate the record, which is worse than stopping.
+/// Sink failures (full disk, closed pipe) do not panic and cannot be
+/// reported mid-stream — [`Recorder`]'s methods return nothing, by
+/// design, so instrumented hot paths stay infallible. Instead the first
+/// error is latched, all subsequent events are dropped, and the failure
+/// surfaces as a structured [`JsonlSinkError`] from
+/// [`JsonlWriter::finish`] (or early via [`JsonlWriter::sink_error`]).
+/// Callers that discard the writer without calling `finish` forfeit the
+/// error — `finish` is the durability check.
 #[derive(Debug)]
 pub struct JsonlWriter<W: io::Write> {
     sink: W,
     next_span: u64,
     lines: u64,
+    error: Option<JsonlSinkError>,
 }
 
 impl<W: io::Write> JsonlWriter<W> {
@@ -185,6 +216,7 @@ impl<W: io::Write> JsonlWriter<W> {
             sink,
             next_span: 0,
             lines: 0,
+            error: None,
         }
     }
 
@@ -196,6 +228,7 @@ impl<W: io::Write> JsonlWriter<W> {
             sink,
             next_span: next,
             lines: 0,
+            error: None,
         }
     }
 
@@ -204,24 +237,49 @@ impl<W: io::Write> JsonlWriter<W> {
         self.next_span
     }
 
-    /// Lines written so far.
+    /// Lines successfully written so far.
     pub fn lines(&self) -> u64 {
         self.lines
     }
 
-    /// Flushes and returns the underlying writer.
-    pub fn into_inner(mut self) -> W {
-        self.sink.flush().expect("JSONL sink flush failed");
-        self.sink
+    /// The latched sink failure, if any — for callers that want to stop
+    /// a long run early instead of discovering the truncation at
+    /// [`JsonlWriter::finish`].
+    pub fn sink_error(&self) -> Option<&JsonlSinkError> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer, or the first write or
+    /// flush error the sink produced. This is the durability checkpoint:
+    /// a timeline is only complete once `finish` returned `Ok`.
+    pub fn finish(mut self) -> Result<W, JsonlSinkError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        match self.sink.flush() {
+            Ok(()) => Ok(self.sink),
+            Err(error) => Err(JsonlSinkError {
+                line: self.lines + 1,
+                error,
+            }),
+        }
     }
 
     fn write_line(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
         let mut line = event.json_line();
         line.push('\n');
-        self.sink
-            .write_all(line.as_bytes())
-            .expect("JSONL sink write failed");
-        self.lines += 1;
+        match self.sink.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(error) => {
+                self.error = Some(JsonlSinkError {
+                    line: self.lines + 1,
+                    error,
+                });
+            }
+        }
     }
 }
 
@@ -237,6 +295,65 @@ impl<W: io::Write> Recorder for JsonlWriter<W> {
     }
     fn end_span(&mut self, t: SimTime, name: &'static str, id: SpanId) {
         self.write_line(&span_event("span_end", t, name, id));
+    }
+}
+
+/// Tags every event passing through with a `session` field, so streams
+/// from many sessions can be concatenated (or reduced together) without
+/// losing attribution. Span events are minted here — with a per-session
+/// id counter — rather than delegated, so they carry the tag too; span
+/// ids are therefore unique *per session*, and the fleet reducer keys
+/// open spans by `(session, span_id)`.
+///
+/// The adapter appends the tag as the last field of each event and
+/// never touches timestamps or ordering, so a tagged stream is the
+/// untagged stream plus one field per line.
+pub struct SessionTagged<'a> {
+    inner: &'a mut dyn Recorder,
+    session: u64,
+    next_span: u64,
+}
+
+impl std::fmt::Debug for SessionTagged<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionTagged")
+            .field("session", &self.session)
+            .field("next_span", &self.next_span)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SessionTagged<'a> {
+    /// Tags everything recorded through `inner` with `session`.
+    pub fn new(inner: &'a mut dyn Recorder, session: u64) -> Self {
+        SessionTagged {
+            inner,
+            session,
+            next_span: 0,
+        }
+    }
+
+    /// The session id applied to every event.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+impl Recorder for SessionTagged<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+    fn record(&mut self, event: Event) {
+        self.inner.record(event.with("session", self.session));
+    }
+    fn start_span(&mut self, t: SimTime, name: &'static str) -> SpanId {
+        let id = SpanId(self.next_span);
+        self.next_span += 1;
+        self.record(span_event("span_start", t, name, id));
+        id
+    }
+    fn end_span(&mut self, t: SimTime, name: &'static str, id: SpanId) {
+        self.record(span_event("span_end", t, name, id));
     }
 }
 
@@ -291,8 +408,96 @@ mod tests {
         let mut w = JsonlWriter::new(Vec::new());
         feed(&mut w);
         assert_eq!(w.lines(), 3);
-        let bytes = w.into_inner();
+        let bytes = w.finish().expect("in-memory sink cannot fail");
         assert_eq!(String::from_utf8(bytes).unwrap(), mem.to_jsonl());
+    }
+
+    /// A writer that accepts `good` writes, then fails every later one.
+    struct FailingSink {
+        good: usize,
+        written: Vec<u8>,
+    }
+
+    impl io::Write for FailingSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.good == 0 {
+                return Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"));
+            }
+            self.good -= 1;
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_failure_is_latched_and_surfaces_on_finish() {
+        let mut w = JsonlWriter::new(FailingSink {
+            good: 2,
+            written: Vec::new(),
+        });
+        feed(&mut w); // 3 events: the third write fails
+        assert_eq!(w.lines(), 2);
+        let err = w.sink_error().expect("failure must be latched");
+        assert_eq!(err.line, 3);
+        let err = match w.finish() {
+            Ok(_) => panic!("finish must report the latched failure"),
+            Err(e) => e,
+        };
+        assert_eq!(err.line, 3);
+        assert_eq!(err.error.kind(), io::ErrorKind::StorageFull);
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn events_after_a_sink_failure_are_dropped_not_written() {
+        let mut w = JsonlWriter::new(FailingSink {
+            good: 1,
+            written: Vec::new(),
+        });
+        feed(&mut w);
+        feed(&mut w); // still latched: nothing more lands
+        assert_eq!(w.lines(), 1);
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn session_tagged_appends_session_to_every_event() {
+        let mut mem = MemoryRecorder::new();
+        let mut tagged = SessionTagged::new(&mut mem, 7);
+        assert_eq!(tagged.session(), 7);
+        feed(&mut tagged);
+        assert_eq!(mem.len(), 3);
+        use crate::event::Value;
+        for e in mem.events() {
+            assert_eq!(e.field("session"), Some(&Value::U64(7)), "{}", e.json_line());
+            // The tag is the last field, so untagged lines are a prefix.
+            assert_eq!(e.fields.last().map(|(n, _)| *n), Some("session"));
+        }
+        // Span pairing still works on the tagged stream.
+        assert_eq!(mem.spans().len(), 1);
+    }
+
+    #[test]
+    fn session_tagged_span_ids_count_per_session() {
+        let mut mem = MemoryRecorder::new();
+        let mut a = SessionTagged::new(&mut mem, 1);
+        assert_eq!(a.start_span(SimTime::ZERO, "x"), SpanId(0));
+        assert_eq!(a.start_span(SimTime::ZERO, "y"), SpanId(1));
+        let mut b = SessionTagged::new(&mut mem, 2);
+        assert_eq!(b.start_span(SimTime::ZERO, "z"), SpanId(0));
+    }
+
+    #[test]
+    fn session_tagged_respects_inner_enabled() {
+        let mut null = NullRecorder;
+        let tagged = SessionTagged::new(&mut null, 3);
+        assert!(!tagged.enabled());
+        let mut mem = MemoryRecorder::new();
+        let tagged = SessionTagged::new(&mut mem, 3);
+        assert!(tagged.enabled());
     }
 
     #[test]

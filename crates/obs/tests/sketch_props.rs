@@ -1,0 +1,152 @@
+//! Property tests for the percentile sketches and histogram merging:
+//! the error bounds `Sketch` documents hold on arbitrary data, and
+//! layout-mismatched merges are structured errors, never panics.
+//!
+//! Runs on the in-tree `movr-testkit` harness (seeded generation,
+//! greedy shrinking); default 96 cases per property, overridable with
+//! `MOVR_TESTKIT_CASES` / `MOVR_TESTKIT_SEED`.
+
+use movr_obs::{Histogram, Sketch, SketchSpec};
+use movr_testkit::{
+    f64_range, prop_assert, prop_assert_eq, property, usize_range, vec_of,
+};
+
+/// The exact `q`-quantile the sketch estimates: the value at rank
+/// `⌈q·(n−1)⌉` of the sorted sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = q * ((sorted.len() - 1) as f64);
+    sorted[rank.ceil() as usize]
+}
+
+property! {
+    fn linear_sketch_quantile_error_is_at_most_one_bucket(
+        values in vec_of(f64_range(0.0, 100.0), 1, 200),
+        buckets in usize_range(4, 64),
+        q in f64_range(0.0, 1.0),
+    ) {
+        let (lo, hi) = (0.0, 100.0);
+        let mut sketch = Sketch::new(SketchSpec::linear(lo, hi, buckets));
+        for &v in &values {
+            sketch.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, q);
+        let est = sketch.quantile(q).expect("non-empty sketch");
+        let width = (hi - lo) / (buckets as f64);
+        prop_assert!(
+            (est - exact).abs() <= width + 1e-9,
+            "q={}: est {} vs exact {} exceeds bucket width {}",
+            q, est, exact, width
+        );
+    }
+}
+
+property! {
+    fn log_sketch_quantile_relative_error_is_at_most_one_ratio(
+        values in vec_of(f64_range(1.0, 1e6), 1, 200),
+        buckets in usize_range(8, 96),
+        q in f64_range(0.0, 1.0),
+    ) {
+        let (lo, hi) = (1.0, 1e6);
+        let mut sketch = Sketch::new(SketchSpec::log(lo, hi, buckets));
+        for &v in &values {
+            sketch.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, q);
+        let est = sketch.quantile(q).expect("non-empty sketch");
+        let ratio = (hi / lo).powf(1.0 / (buckets as f64));
+        let rel = if est >= exact { est / exact } else { exact / est };
+        prop_assert!(
+            rel <= ratio * (1.0 + 1e-9),
+            "q={}: est {} vs exact {} exceeds bucket ratio {}",
+            q, est, exact, ratio
+        );
+    }
+}
+
+property! {
+    fn out_of_range_values_keep_quantiles_inside_observed_extremes(
+        values in vec_of(f64_range(-500.0, 500.0), 1, 100),
+        q in f64_range(0.0, 1.0),
+    ) {
+        // Range [0, 10): most generated values under- or overflow, the
+        // worst case for the edge-bucket clamping.
+        let mut sketch = Sketch::new(SketchSpec::linear(0.0, 10.0, 10));
+        for &v in &values {
+            sketch.observe(v);
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let est = sketch.quantile(q).expect("non-empty sketch");
+        prop_assert!(
+            est >= min.min(0.0) - 1e-9 && est <= max.max(10.0) + 1e-9,
+            "q={}: est {} outside [{}, {}]",
+            q, est, min, max
+        );
+    }
+}
+
+property! {
+    fn mismatched_layouts_merge_to_errors_never_panics(
+        lo_a in f64_range(0.0, 10.0),
+        span in f64_range(1.0, 100.0),
+        n_a in usize_range(1, 40),
+        lo_b in f64_range(0.0, 10.0),
+        n_b in usize_range(1, 40),
+    ) {
+        let mut a = Histogram::linear(lo_a, lo_a + span, n_a);
+        let b = Histogram::linear(lo_b, lo_b + span, n_b);
+        a.observe(lo_a);
+        let same_layout = n_a == n_b && lo_a.to_bits() == lo_b.to_bits();
+        match a.try_merge(&b) {
+            Ok(()) => prop_assert!(same_layout, "merge accepted different layouts"),
+            Err(e) => {
+                prop_assert!(!same_layout, "merge rejected identical layouts: {}", e);
+                // The error names both layouts; self is left usable.
+                prop_assert_eq!(e.self_edges, n_a + 1);
+                prop_assert_eq!(e.other_edges, n_b + 1);
+                prop_assert!(e.to_string().contains("bucket layouts differ"), "{}", e);
+                prop_assert_eq!(a.count(), 1);
+            }
+        }
+
+        // Sketches wrap the same check: spec inequality is an error.
+        let mut sa = Sketch::new(SketchSpec::log(1.0, 1e3, n_a));
+        let sb = Sketch::new(SketchSpec::log(1.0, 1e3, n_b));
+        prop_assert_eq!(sa.try_merge(&sb).is_ok(), n_a == n_b);
+    }
+}
+
+property! {
+    fn merged_sketch_counts_match_concatenated_observation(
+        xs in vec_of(f64_range(-20.0, 120.0), 0, 80),
+        ys in vec_of(f64_range(-20.0, 120.0), 0, 80),
+    ) {
+        let spec = SketchSpec::linear(0.0, 100.0, 25);
+        let mut merged = Sketch::new(spec);
+        let mut direct = Sketch::new(spec);
+        let mut other = Sketch::new(spec);
+        for &x in &xs {
+            merged.observe(x);
+            direct.observe(x);
+        }
+        for &y in &ys {
+            other.observe(y);
+            direct.observe(y);
+        }
+        merged.try_merge(&other).expect("same spec");
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(
+            merged.histogram().bucket_counts(),
+            direct.histogram().bucket_counts()
+        );
+        prop_assert_eq!(merged.histogram().underflow(), direct.histogram().underflow());
+        prop_assert_eq!(merged.histogram().overflow(), direct.histogram().overflow());
+        for q in [0.0, 0.5, 1.0] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+}

@@ -21,7 +21,6 @@ use movr::session::{RatePolicy, Session, SessionConfig, SessionOutcome, Strategy
 use movr_math::Vec2;
 use movr_motion::{HandRaise, MotionTrace, PlayerState};
 use movr_obs::JsonlWriter;
-use std::io::Write;
 
 /// Frames processed before the part1 snapshot is taken.
 const CUT_FRAMES: usize = 90;
@@ -74,7 +73,7 @@ fn main() {
             let mut rec = jsonl_writer(jsonl_path);
             let mut session = Session::new(&cfg);
             while session.step_frame_recorded(&trace, &mut rec) {}
-            rec.into_inner().flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+            rec.finish().unwrap_or_else(|e| die(&format!("timeline sink: {e}")));
             report("full run", &session.outcome(trace.duration_s()));
         }
         ["part1", snap_path, jsonl_path] => {
@@ -89,7 +88,7 @@ fn main() {
                 .unwrap_or_else(|e| die(&format!("write {snap_path}: {e}")));
             std::fs::write(format!("{snap_path}.spanid"), rec.next_span_id().to_string())
                 .unwrap_or_else(|e| die(&format!("write span-id sidecar: {e}")));
-            rec.into_inner().flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+            rec.finish().unwrap_or_else(|e| die(&format!("timeline sink: {e}")));
             println!(
                 "part1: stopped after {} frames at t={:.3} s; snapshot in {snap_path}",
                 session.frames(),
@@ -116,7 +115,7 @@ fn main() {
             let mut rec =
                 JsonlWriter::with_next_span_id(std::io::BufWriter::new(file), next_span_id);
             while session.step_frame_recorded(&trace, &mut rec) {}
-            rec.into_inner().flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+            rec.finish().unwrap_or_else(|e| die(&format!("timeline sink: {e}")));
             report("resumed run", &session.outcome(trace.duration_s()));
         }
         _ => {

@@ -14,7 +14,6 @@ use movr::session::{run_session_recorded, RatePolicy, SessionConfig, Strategy};
 use movr_math::Vec2;
 use movr_motion::{HandRaise, PlayerState};
 use movr_obs::JsonlWriter;
-use std::io::Write;
 
 fn main() {
     let path = std::env::args()
@@ -42,7 +41,7 @@ fn main() {
     let mut rec = JsonlWriter::new(std::io::BufWriter::new(file));
     let out = run_session_recorded(&trace, &cfg, &mut rec);
     let lines = rec.lines();
-    rec.into_inner().flush().expect("flush timeline");
+    rec.finish().expect("timeline sink failed");
 
     println!("=== MoVR session timeline ===");
     println!("wrote {lines} events to {path}\n");

@@ -50,6 +50,31 @@ cat out/checkpoint/part1.jsonl out/checkpoint/part2.jsonl \
     | cmp - out/checkpoint/full.jsonl
 echo "two-process timeline is byte-identical to the uninterrupted run"
 
+echo "==> fleet analytics: 8-session fleet reduces to the golden rollup byte-for-byte"
+rm -rf out/fleet
+cargo run -q --release --offline --example fleet_timelines -- out/fleet 8 1.0
+cargo run -q --release -p movr-obs --offline -- reduce \
+    --out out/fleet/rollup.json out/fleet/session-*.jsonl
+cmp out/fleet/rollup.json tests/fixtures/fleet_rollup.golden.json
+cargo run -q --release -p movr-obs --offline -- diff \
+    out/fleet/rollup.json tests/fixtures/fleet_rollup.golden.json
+
+echo "==> fleet analytics: 100k+ event fleet, single pass, thread-count invariant"
+rm -rf out/fleet-big
+cargo run -q --release --offline --example fleet_timelines -- out/fleet-big 8 10.0
+events="$(cat out/fleet-big/session-*.jsonl | wc -l)"
+echo "big fleet: $events events"
+if [ "$events" -lt 100000 ]; then
+    echo "expected >= 100000 fleet events, got $events" >&2
+    exit 1
+fi
+cargo run -q --release -p movr-obs --offline -- reduce --threads 1 \
+    --out out/fleet-big/rollup-t1.json out/fleet-big/session-*.jsonl
+cargo run -q --release -p movr-obs --offline -- reduce --threads 4 \
+    --out out/fleet-big/rollup-t4.json out/fleet-big/session-*.jsonl
+cmp out/fleet-big/rollup-t1.json out/fleet-big/rollup-t4.json
+echo "100k-event rollup is byte-identical across thread counts"
+
 echo "==> workspace is warning-clean under -Dwarnings"
 RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
 
@@ -69,5 +94,9 @@ cat out/BENCH_sweep.json
 grep -q '"name":"sweep_speedup"' out/BENCH_sweep.json
 grep -q '"bit_identical":true' out/BENCH_sweep.json
 grep -q '"byte_identical":true' out/BENCH_sweep.json
+
+echo "==> perf ratchet: bench medians within tolerance of bench-baseline.toml"
+cargo run -q --release -p movr-obs --offline -- check \
+    --baseline bench-baseline.toml out/BENCH_sweep.json
 
 echo "==> OK"

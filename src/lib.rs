@@ -10,8 +10,11 @@ pub use movr_analog as analog;
 pub use movr_control as control;
 pub use movr_math as math;
 pub use movr_motion as motion;
+pub use movr_obs as obs;
 pub use movr_phased_array as phased_array;
 pub use movr_radio as radio;
 pub use movr_rfsim as rfsim;
 pub use movr_sim as sim;
 pub use movr_vr as vr;
+
+pub mod fleet;

@@ -126,7 +126,7 @@ fn same_seed_produces_byte_identical_jsonl_stream() {
     let stream = || {
         let mut rec = JsonlWriter::new(Vec::new());
         run_session_recorded(&trace, &cfg, &mut rec);
-        rec.into_inner()
+        rec.finish().expect("in-memory sink cannot fail")
     };
     let a = stream();
     let b = stream();

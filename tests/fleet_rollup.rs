@@ -1,0 +1,141 @@
+//! Fleet analytics gate: the streaming reducer's rollup over the
+//! canonical 8-session fleet is pinned byte-for-byte, and the fold is
+//! invariant to how streams are grouped or fanned out.
+//!
+//! The golden fixture (`tests/fixtures/fleet_rollup.golden.json`) is
+//! the `movr-obs reduce` output for the fleet
+//! `movr_system::fleet::fleet_jsonl(8, 1.0, _)`. Regenerate after an
+//! intentional schema or simulation change with:
+//!
+//! ```sh
+//! cargo run --release --example fleet_timelines -- out/fleet 8 1.0
+//! cargo run --release -p movr-obs -- reduce --out tests/fixtures/fleet_rollup.golden.json out/fleet/session-*.jsonl
+//! ```
+
+use movr_obs::{diff_json, reduce_one_stream, reduce_streams, Json, Rollup};
+use movr_system::fleet::fleet_jsonl;
+
+const GOLDEN: &str = include_str!("fixtures/fleet_rollup.golden.json");
+
+fn reduce_fleet(timelines: &[String]) -> Rollup {
+    let mut rollup = Rollup::new();
+    reduce_streams(
+        timelines
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (format!("session-{i}"), t.as_bytes())),
+        &mut rollup,
+    )
+    .expect("fleet timelines are well-formed");
+    rollup
+}
+
+#[test]
+fn fleet_rollup_matches_the_golden_fixture() {
+    let rollup = reduce_fleet(&fleet_jsonl(8, 1.0, 1));
+    let got = rollup.to_json();
+    let want = GOLDEN.trim_end();
+    if got != want {
+        // Byte mismatch: fail with the structural diff, which names the
+        // diverging paths instead of dumping two 3 kB lines.
+        let a = Json::parse(want).expect("golden fixture parses");
+        let b = Json::parse(&got).expect("rollup JSON parses");
+        let diff: Vec<String> = diff_json(&a, &b).iter().map(ToString::to_string).collect();
+        panic!(
+            "fleet rollup diverged from the golden fixture at {} path(s):\n{}",
+            diff.len(),
+            diff.join("\n"),
+        );
+    }
+}
+
+#[test]
+fn rollup_is_invariant_to_thread_count_and_stream_grouping() {
+    let sequential = reduce_fleet(&fleet_jsonl(8, 1.0, 1)).to_json();
+    let fanned = reduce_fleet(&fleet_jsonl(8, 1.0, 4)).to_json();
+    assert_eq!(sequential, fanned, "thread fan-out changed the rollup bytes");
+
+    // Reducing each stream separately and merging in order — the shape
+    // the parallel binary uses — matches the sequential fold exactly.
+    let timelines = fleet_jsonl(8, 1.0, 1);
+    let mut merged = Rollup::new();
+    for (i, t) in timelines.iter().enumerate() {
+        let (part, _) = reduce_one_stream(&format!("session-{i}"), t.as_bytes())
+            .expect("well-formed");
+        merged.merge(&part).expect("same schema");
+    }
+    assert_eq!(merged.to_json(), sequential);
+}
+
+#[test]
+fn golden_fixture_is_internally_consistent() {
+    let doc = Json::parse(GOLDEN.trim_end()).expect("fixture parses");
+    let fleet = doc.get("fleet").expect("fleet section");
+    assert_eq!(fleet.get("sessions").and_then(Json::as_u64), Some(8));
+    let sessions = doc.get("sessions").and_then(Json::fields).expect("sessions map");
+    assert_eq!(sessions.len(), 8);
+    // The fleet counters are the column sums of the per-session ones.
+    for key in ["events", "frames_total", "frames_delivered", "realigns"] {
+        let total: u64 = sessions
+            .iter()
+            .map(|(_, s)| s.get(key).and_then(Json::as_u64).expect("counter"))
+            .sum();
+        assert_eq!(fleet.get(key).and_then(Json::as_u64), Some(total), "{key}");
+    }
+}
+
+#[test]
+fn reducer_folds_a_100k_event_fleet_in_one_pass() {
+    // A synthetic 100 000-event fleet with exactly known aggregates:
+    // 40 sessions × 2500 events (2497 frames + a realign span pair +
+    // one mode switch). Exercises the bounded-memory path at the scale
+    // the acceptance criterion names, with every counter checkable in
+    // closed form.
+    let sessions = 40u64;
+    let per_session = 2500u64;
+    let frames = per_session - 3;
+    let mut timelines = Vec::new();
+    for s in 0..sessions {
+        let mut t = String::new();
+        t.push_str(&format!(
+            "{{\"t_ns\":0,\"kind\":\"mode_switch\",\"to\":\"direct\",\"session\":{s}}}\n"
+        ));
+        t.push_str(&format!(
+            "{{\"t_ns\":1000,\"kind\":\"span_start\",\"span\":\"realign_stall\",\"span_id\":0,\"session\":{s}}}\n\
+             {{\"t_ns\":2500000,\"kind\":\"span_end\",\"span\":\"realign_stall\",\"span_id\":0,\"session\":{s}}}\n"
+        ));
+        for f in 0..frames {
+            let snr = 5.0 + 0.01 * (f % 1000) as f64;
+            let delivered = f % 10 != 0;
+            t.push_str(&format!(
+                "{{\"t_ns\":{},\"kind\":\"frame\",\"delivered\":{delivered},\"snr_db\":{snr},\"airtime_ns\":450000,\"session\":{s}}}\n",
+                3_000_000 + f * 11_111_111,
+            ));
+        }
+        timelines.push(t);
+    }
+    let rollup = reduce_fleet(&timelines);
+    let totals = rollup.fleet_totals();
+    assert_eq!(totals.events, sessions * per_session);
+    assert!(totals.events >= 100_000, "{} events", totals.events);
+    assert_eq!(totals.frames_total, sessions * frames);
+    assert_eq!(
+        totals.frames_delivered,
+        sessions * (frames - frames.div_ceil(10)),
+    );
+    assert_eq!(totals.stall_spans, sessions);
+    assert_eq!(totals.stall_time_ns, sessions * 2_499_000);
+    let snr = rollup.sketch("snr_db").expect("snr sketch");
+    assert_eq!(snr.count(), sessions * frames);
+    // All SNRs lie in [5, 15): p50 must too, within one 0.5 dB bucket.
+    let p50 = snr.quantile(0.5).expect("non-empty");
+    assert!((4.5..15.5).contains(&p50), "{p50}");
+    // And the fold matches the grouped/merged shape at 100k scale too.
+    let mut merged = Rollup::new();
+    for (i, t) in timelines.iter().enumerate() {
+        let (part, _) =
+            reduce_one_stream(&format!("s{i}"), t.as_bytes()).expect("well-formed");
+        merged.merge(&part).expect("same schema");
+    }
+    assert_eq!(merged.to_json(), rollup.to_json());
+}
