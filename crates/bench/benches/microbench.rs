@@ -160,9 +160,13 @@ fn bench_obs_overhead(opts: &BenchOptions) -> Vec<BenchReport> {
 fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
     // Cost of the static-analysis gate itself over the real workspace:
     // lexing alone vs the full semantic pipeline (parse + unit-flow +
-    // RNG dataflow + layering). The gap between the two is the price of
-    // the v2 semantic analyses.
+    // RNG dataflow + layering + the v3 passes). The gap between the
+    // first two is the price of the semantic analyses; the third datum
+    // isolates the v3 passes (parallel-capture, snapshot-coverage,
+    // order-sensitivity) over pre-loaded files so their cost rides the
+    // perf ratchet independently of file I/O.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = movr_lint::load_workspace(&root).expect("workspace readable");
     vec![
         bench_fn("lint_workspace_lex_only", opts, || {
             movr_lint::lex_workspace(&root).expect("workspace readable")
@@ -172,6 +176,9 @@ fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
                 .expect("workspace readable")
                 .diagnostics
                 .len()
+        }),
+        bench_fn("lint_workspace_v3_passes", opts, || {
+            movr_lint::run_v3_passes(&files).len()
         }),
     ]
 }

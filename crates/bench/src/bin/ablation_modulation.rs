@@ -25,7 +25,7 @@ fn main() {
     let scene = Scene::paper_office();
     let ap = RadioEndpoint::paper_radio(ap_position(), 20.0);
     let mut rng = SimRng::seed_from_u64(41);
-    let runs = 30;
+    let runs = 30u64;
 
     let mut with = Summary::new();
     let mut without = Summary::new();
@@ -35,7 +35,7 @@ fn main() {
     for run in 0..runs {
         let pos = Vec2::new(rng.uniform(0.8, 3.5), 4.75);
         let bore = pos.bearing_deg_to(Vec2::new(1.8, 2.2)) + rng.uniform(-10.0, 10.0);
-        let reflector = MovrReflector::wall_mounted(pos, bore, 4000 + run as u64);
+        let reflector = MovrReflector::wall_mounted(pos, bore, 4000 + run);
         let truth = pos.bearing_deg_to(ap.position());
         let truth_ap = ap.position().bearing_deg_to(pos);
         let base = AlignmentConfig {

@@ -60,13 +60,13 @@ fn main() {
         let mut pred_loss32 = Summary::new();
 
         let origin = reflector_position();
-        let steps = (2.0 / frame_s) as usize;
+        let steps = movr_math::convert::f64_to_usize(2.0 / frame_s);
         // Skip the predictor's warm-up (it needs two observations for a
         // velocity estimate); a real system carries history from before
         // the crossing.
         let warmup = 5;
         for k in 0..steps {
-            let t = k as f64 * frame_s;
+            let t = movr_math::convert::usize_to_f64(k) * frame_s;
             let truth = truth_at(t, speed);
             let tracked = tracker.track(t, &truth);
             predictor.observe(t, tracked);

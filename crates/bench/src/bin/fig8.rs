@@ -27,7 +27,7 @@ fn main() {
     let ap = RadioEndpoint::paper_radio(ap_position(), 20.0);
     let mut rng = SimRng::seed_from_u64(8);
 
-    let runs = 100;
+    let runs = 100u64;
     let mut errors = Summary::new();
     let mut within_2 = 0;
     println!("\nseries: estimated vs actual (deg)");
@@ -42,7 +42,7 @@ fn main() {
             Vec2::new(rng.uniform(0.6, 2.2), rng.uniform(3.8, 4.75))
         };
         let bore = pos.bearing_deg_to(Vec2::new(1.8, 2.2)) + rng.uniform(-10.0, 10.0);
-        let reflector = MovrReflector::wall_mounted(pos, bore, 1000 + run as u64);
+        let reflector = MovrReflector::wall_mounted(pos, bore, 1000 + run);
 
         let truth = pos.bearing_deg_to(ap.position());
         let truth_ap = ap.position().bearing_deg_to(pos);

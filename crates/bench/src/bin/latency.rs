@@ -31,8 +31,9 @@ fn main() {
     // Gain control: ~ (max_gain / step) sensor reads at the Arduino's ADC
     // rate (~10 µs per read, 3 reads per step).
     let gc = GainControlConfig::default();
-    let steps = (53.0 / gc.step_db).ceil() as u64;
-    let gain_control = SimTime::from_nanos(steps * gc.reads_per_step as u64 * 10_000);
+    let steps = movr_math::convert::f64_to_u64((53.0 / gc.step_db).ceil());
+    let gain_control =
+        SimTime::from_nanos(steps * movr_math::convert::usize_to_u64(gc.reads_per_step) * 10_000);
 
     // Full install-time sweep: 101 × 101 beams.
     let n = 101u64;

@@ -76,9 +76,9 @@ fn fig7_check() -> Check {
     for rx in [50.0, 65.0] {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for tx in 40..=140 {
+        for tx in 40i32..=140 {
             dev.steer_rx(rx);
-            dev.steer_tx(tx as f64);
+            dev.steer_tx(f64::from(tx));
             let g = -dev.loop_attenuation_db();
             lo = lo.min(g);
             hi = hi.max(g);

@@ -97,7 +97,10 @@ impl ControlChannel {
         let jitter_ns = if self.jitter == SimTime::ZERO {
             0
         } else {
-            self.rng.uniform(0.0, self.jitter.as_nanos() as f64) as u64
+            movr_math::convert::f64_to_u64(
+                self.rng
+                    .uniform(0.0, movr_math::convert::u64_to_f64(self.jitter.as_nanos())),
+            )
         };
         let at = now + self.latency + SimTime::from_nanos(jitter_ns);
         self.in_flight.push((at, self.seq, msg));

@@ -18,9 +18,12 @@
 mod baseline;
 mod layers;
 mod lexer;
+mod order_io;
+mod par_capture;
 mod parser;
 mod rng_flow;
 mod rules;
+mod snapshot_cov;
 pub mod sarif;
 mod source;
 mod units;
@@ -303,6 +306,22 @@ pub fn analyze_threaded(root: &Path, threads: usize) -> io::Result<Report> {
         baselined: 0,
         files_scanned: files.len(),
     })
+}
+
+/// Runs only the v3 semantic passes (parallel-capture,
+/// snapshot-coverage, order-sensitivity) over already-loaded files,
+/// sorted by (file, line, rule). This is the bench harness's isolated
+/// datum for the passes added on top of the v2 engine; `analyze` runs
+/// them as part of the full rule catalogue.
+pub fn run_v3_passes(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    par_capture::check(files, &mut out);
+    snapshot_cov::check(files, &mut out);
+    order_io::check(files, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    out
 }
 
 /// Lexes every workspace file under `root` without parsing or running

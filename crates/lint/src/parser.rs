@@ -22,6 +22,8 @@ pub struct Param {
     /// Flattened type: idents space-separated, punctuation verbatim
     /// (`& mut SimRng`, `Vec < f64 >`). Empty when elided.
     pub ty: String,
+    /// 1-based line the parameter/field starts on (0 when synthetic).
+    pub line: usize,
 }
 
 impl Param {
@@ -78,6 +80,25 @@ pub struct StructDef {
     pub fields: Vec<Param>,
 }
 
+/// A closure expression: `|i, &x| body`, `move || { … }`. The parser
+/// records parameter binding names and the body token range; the
+/// parallel-capture analysis walks the body the same way the other
+/// semantic passes walk `fn` bodies.
+#[derive(Debug, Clone)]
+pub struct ClosureExpr {
+    /// 1-based line of the opening `|`.
+    pub line: usize,
+    /// Token index of the opening `|`.
+    pub start: usize,
+    /// Binding idents across all parameter patterns (`|_, &seed|` →
+    /// `["_", "seed"]`; `mut`/`ref` and type annotations excluded).
+    pub params: Vec<String>,
+    /// Inclusive token range of the body: the `{ … }` block when the
+    /// body is braced, otherwise the trailing expression up to the
+    /// enclosing `,`, `;`, or closing delimiter.
+    pub body: (usize, usize),
+}
+
 /// Everything the item-level parser extracted from one file.
 #[derive(Debug, Default)]
 pub struct ParsedFile {
@@ -87,6 +108,10 @@ pub struct ParsedFile {
     pub uses: Vec<UseLeaf>,
     /// Every `struct` definition.
     pub structs: Vec<StructDef>,
+    /// Every closure expression, in source order (nested closures
+    /// included — a `.map(|x| …)` inside a spawned closure gets its own
+    /// entry).
+    pub closures: Vec<ClosureExpr>,
 }
 
 impl ParsedFile {
@@ -114,6 +139,16 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
             }
             TokenKind::Ident(w) if w == "struct" => {
                 i = parse_struct(tokens, i, &mut out.structs);
+            }
+            TokenKind::Punct('|') => {
+                // Resume just past the parameter list so closures nested
+                // inside the body are still visited by this loop.
+                if let Some((closure, resume)) = parse_closure(tokens, i) {
+                    out.closures.push(closure);
+                    i = resume;
+                } else {
+                    i += 1;
+                }
             }
             _ => i += 1,
         }
@@ -296,7 +331,8 @@ fn parse_param(part: &[Token]) -> Param {
     } else {
         String::new()
     };
-    Param { name, ty: flatten(ty) }
+    let line = part.first().map_or(0, |t| t.line);
+    Param { name, ty: flatten(ty), line }
 }
 
 /// Parses a `struct` item starting at the keyword; returns the resume
@@ -351,7 +387,11 @@ fn parse_struct(tokens: &[Token], kw_idx: usize, out: &mut Vec<StructDef>) -> us
             for part in split_top_level(interior, ',') {
                 let part = strip_field_prefix(part);
                 if !part.is_empty() {
-                    fields.push(Param { name: String::new(), ty: flatten(part) });
+                    fields.push(Param {
+                        name: String::new(),
+                        ty: flatten(part),
+                        line: part[0].line,
+                    });
                 }
             }
             resume = close + 1;
@@ -360,6 +400,109 @@ fn parse_struct(tokens: &[Token], kw_idx: usize, out: &mut Vec<StructDef>) -> us
     }
     out.push(StructDef { name, line, fields });
     resume
+}
+
+/// Parses a closure expression whose opening `|` is at `open`; returns
+/// the closure and the index to resume scanning from (just past the
+/// parameter list, so nested closures in the body are still seen).
+///
+/// Disambiguation from binary `|`/`||` is positional: a closure can only
+/// start where an *expression* starts, i.e. after an opening delimiter,
+/// a separator (`,` `;` `=` `>` from `=>`), `&`, or one of the keywords
+/// `move`/`return`/`else`/`in`. A `|` preceded by an ident, number, or
+/// closing paren is an operator and is skipped. Anything that still
+/// fails to close (e.g. a leading-pipe match arm with no second `|`)
+/// degrades to `None`, never a bogus closure.
+fn parse_closure(tokens: &[Token], open: usize) -> Option<(ClosureExpr, usize)> {
+    if !closure_position(tokens, open) {
+        return None;
+    }
+    // Closing `|` of the parameter list: adjacent for `||`, otherwise
+    // the first `|` at zero delimiter depth.
+    let close = if tokens.get(open + 1).is_some_and(|t| t.is_punct('|')) {
+        open + 1
+    } else {
+        let mut depth = 0i32;
+        let mut j = open + 1;
+        loop {
+            let t = tokens.get(j)?;
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                    if depth == 0 {
+                        return None; // operator `|` after all
+                    }
+                    depth -= 1;
+                }
+                TokenKind::Punct('|') if depth == 0 => break j,
+                TokenKind::Punct(';') if depth == 0 => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    };
+    let mut params = Vec::new();
+    for part in split_top_level(&tokens[open + 1..close], ',') {
+        // Idents of the pattern only — everything past a `:` is a type.
+        let pat = match split_point(part, ':') {
+            Some(c) => &part[..c],
+            None => part,
+        };
+        for t in pat {
+            if let TokenKind::Ident(w) = &t.kind {
+                if w != "mut" && w != "ref" {
+                    params.push(w.clone());
+                }
+            }
+        }
+    }
+    // Body: a brace block, or the expression up to the enclosing
+    // `,`/`;`/closing delimiter at zero depth.
+    let body = match tokens.get(close + 1).map(|t| &t.kind) {
+        Some(TokenKind::Punct('{')) => (close + 1, match_brace(tokens, close + 1)),
+        Some(_) => {
+            let mut depth = 0i32;
+            let mut k = close + 1;
+            let end = loop {
+                let Some(t) = tokens.get(k) else {
+                    break tokens.len() - 1;
+                };
+                match t.kind {
+                    TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                        depth += 1
+                    }
+                    TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                        if depth == 0 {
+                            break k - 1;
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Punct(',') | TokenKind::Punct(';') if depth == 0 => break k - 1,
+                    _ => {}
+                }
+                k += 1;
+            };
+            if end <= close {
+                return None; // empty body (`|x|)` — not a closure)
+            }
+            (close + 1, end)
+        }
+        None => return None,
+    };
+    let closure = ClosureExpr { line: tokens[open].line, start: open, params, body };
+    Some((closure, close + 1))
+}
+
+/// True when a `|` at `open` sits in expression-start position.
+fn closure_position(tokens: &[Token], open: usize) -> bool {
+    let Some(prev) = open.checked_sub(1).map(|i| &tokens[i]) else {
+        return true;
+    };
+    match &prev.kind {
+        TokenKind::Punct(c) => matches!(c, '(' | ',' | '=' | '{' | ';' | '[' | '>' | '&' | ':'),
+        TokenKind::Ident(w) => matches!(w.as_str(), "move" | "return" | "else" | "in"),
+        _ => false,
+    }
 }
 
 /// Strips leading `pub`/`pub(...)` and `#[...]` attributes from a field.
@@ -622,5 +765,55 @@ mod tests {
         let p = parse_src("fn f<T>(x: T) -> u32 where T: Copy { 1 }");
         assert_eq!(p.fns[0].ret.as_deref(), Some("u32"));
         assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn struct_fields_carry_their_lines() {
+        let p = parse_src("struct S {\n  a: u32,\n  b: f64,\n}");
+        assert_eq!(p.structs[0].fields[0].line, 2);
+        assert_eq!(p.structs[0].fields[1].line, 3);
+    }
+
+    #[test]
+    fn closure_params_and_expression_body() {
+        let p = parse_src("fn f() { par_map(&v, 4, |i, &x| x + i) }");
+        assert_eq!(p.closures.len(), 1);
+        let c = &p.closures[0];
+        assert_eq!(c.params, ["i", "x"]);
+        // Body covers `x + i` and stops at the call's closing paren.
+        assert_eq!(c.body.1 - c.body.0, 2);
+    }
+
+    #[test]
+    fn closure_block_body_and_move() {
+        let p = parse_src("fn f() { scope.spawn(move || { work(); more() }); }");
+        assert_eq!(p.closures.len(), 1);
+        let c = &p.closures[0];
+        assert!(c.params.is_empty());
+        let toks = lex("fn f() { scope.spawn(move || { work(); more() }); }");
+        assert!(toks[c.body.0].is_punct('{'));
+        assert!(toks[c.body.1].is_punct('}'));
+    }
+
+    #[test]
+    fn nested_closures_are_both_found() {
+        let p = parse_src("fn f() { outer(|a| inner(|b: &str| b.len() + a)) }");
+        let params: Vec<_> = p.closures.iter().map(|c| c.params.clone()).collect();
+        assert_eq!(params, [vec!["a".to_string()], vec!["b".to_string()]]);
+    }
+
+    #[test]
+    fn operator_pipes_are_not_closures() {
+        assert!(parse_src("fn f(a: u32, b: u32) -> u32 { a | b }").closures.is_empty());
+        assert!(parse_src("fn f(a: bool, b: bool) -> bool { a || b }").closures.is_empty());
+        assert!(parse_src("fn f(m: M) -> u32 { match m { M::A | M::B => 1, _ => 0 } }")
+            .closures
+            .is_empty());
+    }
+
+    #[test]
+    fn typed_closure_params_exclude_the_type() {
+        let p = parse_src("fn f() { let rel = |path: &Path| path.display(); }");
+        assert_eq!(p.closures[0].params, ["path"]);
     }
 }

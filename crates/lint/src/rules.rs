@@ -42,6 +42,11 @@ pub const RULES: &[&str] = &[
     "rng-fork-in-loop",
     "rng-cross-crate-untagged",
     "layer-violation",
+    "shared-mut-in-par-closure",
+    "interior-mut-crosses-threads",
+    "rng-unforked-in-par",
+    "snapshot-field-uncovered",
+    "unordered-iter-in-output",
 ];
 
 /// Runs every rule over `files` and returns the combined findings,
@@ -63,6 +68,9 @@ pub fn run_all(files: &[SourceFile], layers: Option<&LayerSpec>) -> Vec<Diagnost
     rng_fork_label_unique(files, &mut out);
     crate::units::check(files, &mut out);
     crate::rng_flow::check(files, &mut out);
+    crate::par_capture::check(files, &mut out);
+    crate::snapshot_cov::check(files, &mut out);
+    crate::order_io::check(files, &mut out);
     if let Some(spec) = layers {
         crate::layers::check(files, spec, &mut out);
     }

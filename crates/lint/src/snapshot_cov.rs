@@ -1,0 +1,191 @@
+//! Snapshot-coverage analysis: every field of the checkpointed session
+//! state must be touched by both sides of the snapshot codec.
+//!
+//! PR 6's resume guarantee ("cut at any frame, restore, byte-identical
+//! to the uninterrupted run") rests on `crates/core/src/snapshot.rs`
+//! encoding and decoding *every* field of `SessionState` and the
+//! `*Checkpoint` structs it contains. The codec is hand-rolled — there
+//! is no derive to keep it honest — so a new field added to the state
+//! compiles cleanly, snapshots silently drop it, and the bug surfaces
+//! only when a golden resume fixture diverges. This pass turns that
+//! test-time fixture break into a lint-time failure.
+//!
+//! **`snapshot-field-uncovered`** — a named field of `SessionState` or
+//! any `*Checkpoint` struct in the core crate is never referenced as a
+//! field (`.name`) inside the codec's encode functions, or never bound
+//! as an identifier inside its decode functions. One diagnostic per
+//! missing side, anchored at the field's declaration line.
+//!
+//! The contract (documented in DESIGN.md): encode coverage means the
+//! field name appears after a `.` inside the body of a non-test fn
+//! named `encode*` or `capture` in the codec file; decode coverage
+//! means the name appears at all inside a fn named `decode*` or
+//! `restore*` (decoders bind locals and build struct literals, so a
+//! bare-ident match is the right granularity). Name-level matching is
+//! an over-approximation — a field encoded but written to the wrong
+//! offset still passes — but the golden snapshot fixture pins the byte
+//! layout; this pass pins *presence*.
+
+use crate::lexer::TokenKind;
+use crate::rules::Diagnostic;
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeSet;
+
+/// Path of the codec file this pass cross-checks against.
+const CODEC_FILE: &str = "crates/core/src/snapshot.rs";
+
+/// Runs the snapshot-coverage analysis. A workspace with no codec file
+/// (or one whose codec exposes no encode/decode fns yet) produces no
+/// diagnostics — the pass arms itself only once both sides exist.
+pub fn check(files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+    let Some(codec) = files.iter().find(|f| f.rel == CODEC_FILE) else {
+        return;
+    };
+    let (encoded, decoded) = codec_coverage(codec);
+    if encoded.is_empty() && decoded.is_empty() {
+        return;
+    }
+    for f in files {
+        if f.crate_name != "core" || f.kind != FileKind::Lib {
+            continue;
+        }
+        for st in &f.parsed.structs {
+            if st.name != "SessionState" && !st.name.ends_with("Checkpoint") {
+                continue;
+            }
+            for field in &st.fields {
+                if field.name.is_empty() {
+                    continue;
+                }
+                if !encoded.contains(field.name.as_str()) {
+                    out.push(diag(f, field.line, &st.name, &field.name, "encode"));
+                }
+                if !decoded.contains(field.name.as_str()) {
+                    out.push(diag(f, field.line, &st.name, &field.name, "decode"));
+                }
+            }
+        }
+    }
+}
+
+fn diag(f: &SourceFile, line: usize, st: &str, field: &str, side: &str) -> Diagnostic {
+    let hint = match side {
+        "encode" => format!(
+            "`{st}.{field}` is never written by the encode path in {CODEC_FILE}; snapshots silently drop it and resume diverges — add it to the codec and bump the format version"
+        ),
+        _ => format!(
+            "`{st}.{field}` is never rebound on the decode path in {CODEC_FILE}; restored sessions lose it — add it to the codec and bump the format version"
+        ),
+    };
+    Diagnostic {
+        rule: "snapshot-field-uncovered",
+        file: f.rel.clone(),
+        line,
+        snippet: f.snippet(line),
+        hint,
+    }
+}
+
+/// Field names covered by the codec: (`.name` refs in encode fns,
+/// all idents in decode fns).
+fn codec_coverage(codec: &SourceFile) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut encoded = BTreeSet::new();
+    let mut decoded = BTreeSet::new();
+    for sig in &codec.parsed.fns {
+        let Some((open, close)) = sig.body else { continue };
+        if codec.in_cfg_test(open) {
+            continue;
+        }
+        let is_enc = sig.name.starts_with("encode") || sig.name == "capture";
+        let is_dec = sig.name.starts_with("decode") || sig.name.starts_with("restore");
+        if !is_enc && !is_dec {
+            continue;
+        }
+        let close = close.min(codec.tokens.len().saturating_sub(1));
+        for j in open..=close {
+            let TokenKind::Ident(name) = &codec.tokens[j].kind else { continue };
+            if is_dec {
+                decoded.insert(name.clone());
+            }
+            if is_enc && j >= 1 && codec.tokens[j - 1].is_punct('.') {
+                encoded.insert(name.clone());
+            }
+        }
+    }
+    (encoded, decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<(String, usize, String)> {
+        let parsed: Vec<SourceFile> =
+            files.iter().map(|(rel, src)| SourceFile::parse(rel, src)).collect();
+        let mut out = Vec::new();
+        check(&parsed, &mut out);
+        out.into_iter().map(|d| (d.file, d.line, d.hint)).collect()
+    }
+
+    const STATE: &str = "pub struct SessionState {\n  pub frames: u64,\n  pub snr_sum: f64,\n}\npub struct TrackerCheckpoint {\n  pub last_update: u64,\n}";
+
+    #[test]
+    fn fully_covered_state_is_clean() {
+        let codec = "fn encode_state(st: &SessionState, cp: &TrackerCheckpoint) {\n  put(st.frames); put(st.snr_sum); put(cp.last_update);\n}\nfn decode_state(b: &[u8]) {\n  let frames = get(b); let snr_sum = get(b); let last_update = get(b);\n}";
+        assert!(run(&[
+            ("crates/core/src/session.rs", STATE),
+            ("crates/core/src/snapshot.rs", codec),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn field_missing_from_both_sides_yields_two_diagnostics() {
+        let codec = "fn encode_state(st: &SessionState, cp: &TrackerCheckpoint) {\n  put(st.frames); put(cp.last_update);\n}\nfn decode_state(b: &[u8]) {\n  let frames = get(b); let last_update = get(b);\n}";
+        let hits = run(&[
+            ("crates/core/src/session.rs", STATE),
+            ("crates/core/src/snapshot.rs", codec),
+        ]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(f, l, _)| f == "crates/core/src/session.rs" && *l == 3));
+        assert!(hits[0].2.contains("encode path"));
+        assert!(hits[1].2.contains("decode path"));
+    }
+
+    #[test]
+    fn checkpoint_field_missing_from_decode_only() {
+        let codec = "fn encode_state(st: &SessionState, cp: &TrackerCheckpoint) {\n  put(st.frames); put(st.snr_sum); put(cp.last_update);\n}\nfn decode_state(b: &[u8]) {\n  let frames = get(b); let snr_sum = get(b);\n}";
+        let hits = run(&[
+            ("crates/core/src/session.rs", STATE),
+            ("crates/core/src/snapshot.rs", codec),
+        ]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, 6);
+        assert!(hits[0].2.contains("decode path"));
+    }
+
+    #[test]
+    fn pass_is_inert_without_a_codec_or_codec_fns() {
+        assert!(run(&[("crates/core/src/session.rs", STATE)]).is_empty());
+        let stub = "// codec not written yet\npub fn version() -> u32 { 1 }";
+        assert!(run(&[
+            ("crates/core/src/session.rs", STATE),
+            ("crates/core/src/snapshot.rs", stub),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn other_crates_and_non_checkpoint_structs_are_ignored() {
+        let codec = "fn encode_state(st: &SessionState, cp: &TrackerCheckpoint) { put(st.frames); put(st.snr_sum); put(cp.last_update); }\nfn decode_state(b: &[u8]) { let frames = get(b); let snr_sum = get(b); let last_update = get(b); }";
+        let other = "pub struct SessionState { pub ghost: u64 }";
+        let plain = "pub struct Config { pub uncovered: u64 }";
+        assert!(run(&[
+            ("crates/core/src/session.rs", STATE),
+            ("crates/core/src/snapshot.rs", codec),
+            ("crates/alpha/src/lib.rs", other),
+            ("crates/core/src/config.rs", plain),
+        ])
+        .is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture checkpointed state: `stall_frames` is deliberately missing
+//! from *both* codec sides and `history_len` from decode only; the
+//! self-test pins the exact lines the coverage pass reports.
+
+/// Mid-session mutable state captured by snapshots.
+pub struct SessionState {
+    pub frames: u64,
+    pub snr_total: f64,
+    pub stall_frames: u64,
+    pub queue_len: u64,
+}
+
+/// Beam-tracker state nested inside the snapshot body.
+pub struct TrackerCheckpoint {
+    pub last_update: u64,
+    pub history_len: u64,
+}

@@ -1,0 +1,35 @@
+//! Fixture output paths: seeded unordered-iteration violations plus
+//! the ordered and commutative shapes that must stay clean.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Seeded: the fn name marks this as a rendering path.
+pub fn render_json(by_name: &HashMap<String, u64>) -> String {
+    let mut s = String::new();
+    for (name, _count) in by_name.iter() {
+        s.push_str(name);
+    }
+    s
+}
+
+/// Seeded: a sink call inside the loop body, regardless of fn name.
+pub fn tally(seen: &HashSet<u64>, sink: &mut String) {
+    for v in seen.iter() {
+        let _ = writeln!(sink, "{v}");
+    }
+}
+
+/// Clean: ordered container on the output path.
+pub fn render_sorted(by_name: &BTreeMap<String, u64>) -> String {
+    let mut s = String::new();
+    for (name, _count) in by_name.iter() {
+        s.push_str(name);
+    }
+    s
+}
+
+/// Clean: commutative fold outside any output context.
+pub fn grand_total(counts: &HashMap<String, u64>) -> u64 {
+    counts.values().sum()
+}

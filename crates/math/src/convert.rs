@@ -40,6 +40,15 @@ pub fn f64_to_u64(x: f64) -> u64 {
     x as u64
 }
 
+/// `f64 → usize` truncating toward zero, for computed non-negative
+/// loop bounds (`2.0 / frame_s` prediction-horizon frame counts).
+///
+/// Fractional parts are dropped; negative and non-finite inputs
+/// saturate to 0 / `usize::MAX` per Rust's defined `as` semantics.
+pub fn f64_to_usize(x: f64) -> usize {
+    x as usize
+}
+
 /// `usize → i32` for small structural indices crossing into `i32` APIs
 /// (`f64::powi` exponents for bucket-edge construction).
 ///
@@ -67,6 +76,14 @@ mod tests {
         assert_eq!(f64_to_u64(0.0), 0);
         assert_eq!(f64_to_u64(-3.0), 0);
         assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
+    }
+
+    #[test]
+    fn f64_to_usize_truncates_and_saturates() {
+        assert_eq!(f64_to_usize(7.9), 7);
+        assert_eq!(f64_to_usize(0.0), 0);
+        assert_eq!(f64_to_usize(-3.0), 0);
+        assert_eq!(f64_to_usize(f64::INFINITY), usize::MAX);
     }
 
     #[test]

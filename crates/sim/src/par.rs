@@ -16,6 +16,7 @@
 //! sharing a sequence across threads. Zero dependencies: only
 //! `std::thread::scope`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 /// Number of worker threads worth spawning on this machine (≥ 1).
@@ -33,7 +34,8 @@ pub fn available_threads() -> usize {
 /// thread per item.
 ///
 /// # Panics
-/// Panics if any invocation of `f` panics (the panic is propagated).
+/// Panics if any invocation of `f` panics; the propagated message names
+/// the input index of the item being processed when the worker died.
 pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -48,6 +50,12 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(threads);
+    // Each worker records the item index it is about to process, so a
+    // panic can be attributed without touching the item type.
+    let progress: Vec<AtomicUsize> = items
+        .chunks(chunk)
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
     let mut out = Vec::with_capacity(items.len());
     thread::scope(|scope| {
         let f = &f;
@@ -57,19 +65,42 @@ where
             .enumerate()
             .map(|(ci, slice)| {
                 let base = ci * chunk;
+                let slot = &progress[ci];
                 scope.spawn(move || {
                     slice
                         .iter()
                         .enumerate()
-                        .map(|(j, t)| f(base + j, t))
+                        .map(|(j, t)| {
+                            slot.store(base + j, Ordering::Relaxed);
+                            f(base + j, t)
+                        })
                         .collect::<Vec<R>>()
                 })
             })
             .collect();
         // ...and join in spawn order, so concatenation restores input
         // order regardless of which worker finished first.
-        for handle in handles {
-            out.extend(handle.join().expect("par_map worker panicked"));
+        for (ci, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(results) => out.extend(results),
+                Err(payload) => {
+                    let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                        *s
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.as_str()
+                    } else {
+                        "non-string panic payload"
+                    };
+                    match progress[ci].load(Ordering::Relaxed) {
+                        usize::MAX => panic!(
+                            "par_map worker panicked before processing any item: {detail}"
+                        ),
+                        item => panic!(
+                            "par_map worker panicked while processing item {item}: {detail}"
+                        ),
+                    }
+                }
+            }
         }
     });
     out
@@ -117,5 +148,28 @@ mod tests {
             assert!(x != 5, "boom");
             x
         });
+    }
+
+    #[test]
+    fn worker_panic_names_the_failing_item_index() {
+        let items: Vec<u32> = (0..16).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, 4, |_, &x| {
+                assert!(x != 5, "item 5 is cursed");
+                x
+            });
+        }))
+        .expect_err("the worker must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("propagated panic carries a String message");
+        assert!(
+            msg.contains("while processing item 5"),
+            "panic message should name item 5, got: {msg}"
+        );
+        assert!(
+            msg.contains("item 5 is cursed"),
+            "panic message should carry the worker's own message, got: {msg}"
+        );
     }
 }

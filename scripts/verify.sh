@@ -22,6 +22,15 @@ mkdir -p out
 cargo run -q -p movr-lint --offline -- --root . --sarif out/lint.sarif
 cargo run -q -p movr-lint --offline -- --check-sarif out/lint.sarif
 
+echo "==> movr-lint: v3 rule catalogue present in SARIF"
+for rule in shared-mut-in-par-closure interior-mut-crosses-threads \
+            rng-unforked-in-par snapshot-field-uncovered unordered-iter-in-output; do
+    grep -q "\"id\": \"$rule\"" out/lint.sarif || {
+        echo "rule $rule missing from SARIF catalogue" >&2
+        exit 1
+    }
+done
+
 echo "==> movr-lint: parallel run is byte-identical to single-threaded"
 cargo run -q -p movr-lint --offline -- --root . --json --threads 1 > out/lint-t1.json || true
 cargo run -q -p movr-lint --offline -- --root . --json --threads 4 > out/lint-t4.json || true
@@ -79,13 +88,15 @@ echo "==> workspace is warning-clean under -Dwarnings"
 RUSTFLAGS="-Dwarnings" cargo check --workspace --all-targets --offline
 
 echo "==> bench smoke (--quick profile, JSON lines)"
-out="$(cargo bench -p movr-bench --bench microbench --offline -- --quick 2>/dev/null | grep '"median_ns"')"
-echo "$out"
-lines="$(printf '%s\n' "$out" | wc -l)"
+cargo bench -p movr-bench --bench microbench --offline -- --quick 2>/dev/null \
+    | grep '"median_ns"' > out/BENCH_micro.json
+cat out/BENCH_micro.json
+lines="$(wc -l < out/BENCH_micro.json)"
 if [ "$lines" -lt 10 ]; then
     echo "expected >= 10 bench JSON lines, got $lines" >&2
     exit 1
 fi
+grep -q '"name":"lint_workspace_v3_passes"' out/BENCH_micro.json
 
 echo "==> bench: sweep-rate gate (cached bit-identical and >= 5x; fleet byte-identical)"
 cargo bench -p movr-bench --bench sweep --offline -- --quick 2>/dev/null \
@@ -96,7 +107,8 @@ grep -q '"bit_identical":true' out/BENCH_sweep.json
 grep -q '"byte_identical":true' out/BENCH_sweep.json
 
 echo "==> perf ratchet: bench medians within tolerance of bench-baseline.toml"
+cat out/BENCH_sweep.json out/BENCH_micro.json > out/BENCH_all.json
 cargo run -q --release -p movr-obs --offline -- check \
-    --baseline bench-baseline.toml out/BENCH_sweep.json
+    --baseline bench-baseline.toml out/BENCH_all.json
 
 echo "==> OK"
