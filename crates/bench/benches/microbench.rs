@@ -160,11 +160,13 @@ fn bench_obs_overhead(opts: &BenchOptions) -> Vec<BenchReport> {
 fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
     // Cost of the static-analysis gate itself over the real workspace:
     // lexing alone vs the full semantic pipeline (parse + unit-flow +
-    // RNG dataflow + layering + the v3 passes). The gap between the
-    // first two is the price of the semantic analyses; the third datum
-    // isolates the v3 passes (parallel-capture, snapshot-coverage,
-    // order-sensitivity) over pre-loaded files so their cost rides the
-    // perf ratchet independently of file I/O.
+    // RNG dataflow + layering + the v3/v4 passes). The gap between the
+    // first two is the price of the semantic analyses; the later data
+    // isolate the v3 passes (parallel-capture, snapshot-coverage,
+    // order-sensitivity) and the v4 interprocedural-effect passes
+    // (call-graph build + effect fixpoint + four rules) over pre-loaded
+    // files so their cost rides the perf ratchet independently of file
+    // I/O.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let files = movr_lint::load_workspace(&root).expect("workspace readable");
     vec![
@@ -179,6 +181,9 @@ fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
         }),
         bench_fn("lint_workspace_v3_passes", opts, || {
             movr_lint::run_v3_passes(&files).len()
+        }),
+        bench_fn("lint_workspace_v4_callgraph", opts, || {
+            movr_lint::run_v4_passes(&files).len()
         }),
     ]
 }

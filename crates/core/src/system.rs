@@ -188,7 +188,7 @@ impl MovrSystem {
         self.last_tx_deg.push(f64::NAN);
         self.commanded_tx.push(f64::NAN);
         let i = self.reflectors.len() - 1;
-        self.reflectors[i].steer_rx(incidence);
+        self.reflectors[i].steer_rx(incidence); // lint: i = len - 1 of the vec pushed two lines up
         i
     }
 
@@ -487,16 +487,20 @@ impl MovrSystem {
         // re-applying them is exact.
         self.ap.steer_to(cp.ap_steering_deg);
         self.mode = cp.mode;
-        for (i, rcp) in cp.reflectors.into_iter().enumerate() {
-            let r = &mut self.reflectors[i];
+        let per_unit = self
+            .reflectors
+            .iter_mut()
+            .zip(self.last_tx_deg.iter_mut())
+            .zip(self.commanded_tx.iter_mut());
+        for (rcp, ((r, last_tx), commanded)) in cp.reflectors.into_iter().zip(per_unit) {
             r.steer_rx(rcp.rx_steering_deg);
             r.steer_tx(rcp.tx_steering_deg);
             r.set_gain_db(rcp.gain_db);
             r.set_amplifier_enabled(rcp.amp_enabled);
             r.set_modulating(rcp.modulating);
             r.restore_sensor_rng_state(rcp.sensor_rng);
-            self.last_tx_deg[i] = rcp.last_tx_deg;
-            self.commanded_tx[i] = rcp.commanded_tx;
+            *last_tx = rcp.last_tx_deg;
+            *commanded = rcp.commanded_tx;
         }
         self.tracker.restore_state(cp.tracker);
         self.predictor.restore_history(cp.predictor_history);

@@ -1,0 +1,485 @@
+//! Workspace-wide call graph over the item parser's `fn` signatures.
+//!
+//! Nodes are the non-test `fn`s of library files; edges are resolved
+//! call sites. There is no type checker underneath, so resolution is
+//! heuristic — the approximations are documented here and in DESIGN.md
+//! § "Interprocedural effects (v4)", in the same spirit as the v3
+//! capture model:
+//!
+//! * **Plain calls** (`helper(x)`) resolve to a same-file `fn` first,
+//!   then any same-crate `fn`, then — when the name was imported — the
+//!   `fn`s of the crate the `use` map roots it at. Unimported names
+//!   with no workspace definition (std, closures) produce no edge.
+//! * **Method calls** (`.push(…)`) resolve to *every* workspace `fn`
+//!   with that name and a `self` receiver — a name-collision
+//!   over-approximation (two unrelated `fn len(&self)` items merge),
+//!   accepted because effect union is monotone: merging can only add
+//!   effects, never hide one.
+//! * **Path calls** (`Type::name(…)`) filter by the impl-block owner
+//!   the parser records when the qualifier matches one; `crate::`/
+//!   `self::`/`super::` restrict to the calling crate; `movr_*::`
+//!   qualifiers restrict to that crate; a well-known std qualifier
+//!   (`Vec`, `u64`, …) produces no edge; anything else falls back to
+//!   same-crate-then-anywhere. A `self.name(…)` call inside an impl
+//!   prefers same-owner candidates before the name-wide fan-out.
+//! * **Recorder trait dispatch** (`.record(…)`, `.start_span(…)`,
+//!   `.end_span(…)`) is deliberately *not* resolved: those sites become
+//!   the `sink-write` effect in `effects.rs` instead of edges, so a
+//!   file-backed recorder's I/O does not poison every `*_recorded`
+//!   caller (the sink is the caller's *choice*, not its effect).
+//! * **Macros** never produce edges (`name!(…)` is not a call); the
+//!   panic/print vocabulary is handled as direct effects.
+//!
+//! Token-to-node attribution handles nested `fn`s: every token belongs
+//! to the *innermost* enclosing body, so an outer `fn` is not charged
+//! for calls its nested helper makes (it gains them only if it calls
+//! the helper).
+
+use crate::lexer::TokenKind;
+use crate::rng_flow::crate_of_extern_root;
+use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeMap;
+
+/// Method names modeled as the `sink-write` effect instead of edges.
+pub const SINK_METHODS: &[&str] = &["record", "start_span", "end_span"];
+
+/// Std qualifiers whose associated functions never enter workspace
+/// code — their path calls (`Vec::new()`, `u64::from_le_bytes(…)`)
+/// produce no edge instead of falling back to the name-wide
+/// over-approximation.
+const STD_QUALIFIERS: &[&str] = &[
+    "Vec", "VecDeque", "BTreeMap", "BTreeSet", "HashMap", "HashSet", "BinaryHeap", "String",
+    "Box", "Rc", "Arc", "Cell", "RefCell", "Mutex", "RwLock", "Option", "Result", "Cow",
+    "PathBuf", "OsString", "Duration", "Instant", "Ordering", "Range", "Wrapping", "Default",
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64", "bool", "char", "str",
+];
+
+/// Keywords that can precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let",
+    "fn", "as", "in", "move", "mut", "ref", "unsafe", "use", "pub", "impl", "struct",
+    "enum", "trait", "where", "dyn", "static", "const", "type", "mod", "extern", "async",
+    "await", "self", "Self", "super", "crate",
+];
+
+/// One call-graph node: a non-test `fn` in a library file.
+#[derive(Debug)]
+pub struct Node {
+    /// Index into the analyzed file slice.
+    pub file: usize,
+    /// Function name.
+    pub name: String,
+    /// Impl-block self type, when the fn is a method.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Inclusive body token range.
+    pub body: (usize, usize),
+    /// True when the first parameter is a `self` receiver.
+    pub has_self: bool,
+}
+
+/// The resolved call graph.
+pub struct CallGraph {
+    /// All nodes, in (file, fn) declaration order — ids are stable for
+    /// a given file list, which keeps every downstream report
+    /// deterministic.
+    pub nodes: Vec<Node>,
+    /// `callees[n]` = sorted, deduplicated node ids `n` calls.
+    pub callees: Vec<Vec<usize>>,
+    /// Per file: token index → innermost enclosing node id.
+    owner_of: Vec<Vec<Option<usize>>>,
+    /// Function name → node ids bearing it.
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `files`. Only `FileKind::Lib` files
+    /// contribute nodes (tests/benches/examples are exempt territory
+    /// for every v4 rule), and `#[cfg(test)]` fns are skipped.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            if f.kind != FileKind::Lib {
+                continue;
+            }
+            for sig in &f.parsed.fns {
+                let Some(body) = sig.body else { continue };
+                if f.in_cfg_test(body.0) {
+                    continue;
+                }
+                nodes.push(Node {
+                    file: fi,
+                    name: sig.name.clone(),
+                    owner: sig.owner.clone(),
+                    line: sig.line,
+                    body,
+                    has_self: sig.has_self,
+                });
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.clone()).or_default().push(id);
+        }
+        // Innermost-wins token attribution: paint widest bodies first,
+        // narrower bodies overwrite.
+        let mut owner_of: Vec<Vec<Option<usize>>> =
+            files.iter().map(|f| vec![None; f.tokens.len()]).collect();
+        let mut by_span: Vec<usize> = (0..nodes.len()).collect();
+        by_span.sort_by_key(|&id| std::cmp::Reverse(nodes[id].body.1 - nodes[id].body.0));
+        for id in by_span {
+            let n = &nodes[id];
+            let hi = n.body.1.min(owner_of[n.file].len().saturating_sub(1));
+            for slot in &mut owner_of[n.file][n.body.0..=hi] {
+                *slot = Some(id);
+            }
+        }
+        let mut graph = CallGraph { nodes, callees: Vec::new(), owner_of, by_name };
+        graph.callees = vec![Vec::new(); graph.nodes.len()];
+        for (fi, f) in files.iter().enumerate() {
+            if f.kind != FileKind::Lib {
+                continue;
+            }
+            for j in 0..f.tokens.len() {
+                let Some(caller) = graph.owner_of[fi][j] else { continue };
+                for callee in graph.resolve_at(files, fi, j) {
+                    graph.callees[caller].push(callee);
+                }
+            }
+        }
+        for list in &mut graph.callees {
+            list.sort_unstable();
+            list.dedup();
+        }
+        graph
+    }
+
+    /// `callers[n]` for the fixpoint worklist: the inverse edge lists.
+    pub fn callers(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (caller, callees) in self.callees.iter().enumerate() {
+            for &callee in callees {
+                out[callee].push(caller);
+            }
+        }
+        out
+    }
+
+    /// The innermost node containing token `j` of file `fi`, if any.
+    pub fn node_at(&self, fi: usize, j: usize) -> Option<usize> {
+        self.owner_of.get(fi)?.get(j).copied().flatten()
+    }
+
+    /// Resolves the call site at token `j` of file `fi` (an ident
+    /// immediately followed by `(`) to candidate node ids. Returns an
+    /// empty list for non-call tokens, macros, definitions, keywords,
+    /// sink-vocabulary methods, and names with no workspace definition.
+    pub fn resolve_at(&self, files: &[SourceFile], fi: usize, j: usize) -> Vec<usize> {
+        let f = &files[fi];
+        let toks = &f.tokens;
+        let TokenKind::Ident(name) = &toks[j].kind else { return Vec::new() };
+        if !toks.get(j + 1).is_some_and(|t| t.is_punct('(')) {
+            return Vec::new();
+        }
+        if KEYWORDS.contains(&name.as_str()) {
+            return Vec::new();
+        }
+        if j >= 1 && toks[j - 1].is_ident("fn") {
+            return Vec::new(); // definition, not a call
+        }
+        let candidates = match self.by_name.get(name.as_str()) {
+            Some(ids) => ids.as_slice(),
+            None => return Vec::new(),
+        };
+        // Method call: `.name(` — every same-named fn with a receiver,
+        // except the Recorder sink vocabulary (effect, not edge). One
+        // precise special case: when the receiver is literally `self`
+        // inside an impl, the method lives in the caller's own impl, so
+        // a same-owner candidate (when one exists) beats the name-wide
+        // fan-out.
+        if j >= 1 && toks[j - 1].is_punct('.') {
+            if SINK_METHODS.contains(&name.as_str()) {
+                return Vec::new();
+            }
+            let with_self: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.nodes[id].has_self)
+                .collect();
+            let self_recv = j >= 2 && toks[j - 2].is_ident("self");
+            if self_recv {
+                if let Some(caller) = self.node_at(fi, j) {
+                    if let Some(owner) = self.nodes[caller].owner.clone() {
+                        let same_owner: Vec<usize> = with_self
+                            .iter()
+                            .copied()
+                            .filter(|&id| self.nodes[id].owner.as_deref() == Some(owner.as_str()))
+                            .collect();
+                        if !same_owner.is_empty() {
+                            return same_owner;
+                        }
+                    }
+                }
+            }
+            return with_self;
+        }
+        // Path call: `Qual::name(` — the qualifier narrows candidates.
+        if j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            let qual = match j.checked_sub(3).map(|q| &toks[q].kind) {
+                Some(TokenKind::Ident(q)) => Some(q.as_str()),
+                _ => None,
+            };
+            return self.resolve_path(files, fi, qual, candidates);
+        }
+        // Plain call: same file, then same crate, then the use map.
+        let same_file: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| self.nodes[id].file == fi)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let same_crate = self.in_crate(files, candidates, &f.crate_name);
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        match f.parsed.use_root_of(name) {
+            Some(root) => self.in_extern_root(files, candidates, &f.crate_name, root),
+            None => Vec::new(),
+        }
+    }
+
+    fn resolve_path(
+        &self,
+        files: &[SourceFile],
+        fi: usize,
+        qual: Option<&str>,
+        candidates: &[usize],
+    ) -> Vec<usize> {
+        let f = &files[fi];
+        if let Some(q) = qual {
+            // Impl owner match is the strongest signal.
+            let owned: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.nodes[id].owner.as_deref() == Some(q))
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+            if matches!(q, "crate" | "self" | "Self" | "super") {
+                return self.in_crate(files, candidates, &f.crate_name);
+            }
+            if q == "movr" || q.starts_with("movr_") {
+                return self.in_extern_root(files, candidates, &f.crate_name, q);
+            }
+            // An imported type used as qualifier narrows to its crate.
+            if let Some(root) = f.parsed.use_root_of(q) {
+                let narrowed = self.in_extern_root(files, candidates, &f.crate_name, root);
+                if !narrowed.is_empty() {
+                    return narrowed;
+                }
+            }
+            // A well-known std container/primitive qualifier never
+            // dispatches into workspace code: `Vec::new()` is not any
+            // local `fn new`. Without this cut-off every decode path
+            // "reaches" every constructor in the workspace.
+            if STD_QUALIFIERS.contains(&q) {
+                return Vec::new();
+            }
+        }
+        // Unknown qualifier (module path, turbofish): same crate first,
+        // then every same-named fn — the monotone over-approximation.
+        let same_crate = self.in_crate(files, candidates, &f.crate_name);
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        candidates.to_vec()
+    }
+
+    fn in_crate(&self, files: &[SourceFile], candidates: &[usize], krate: &str) -> Vec<usize> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&id| files[self.nodes[id].file].crate_name == krate)
+            .collect()
+    }
+
+    /// Candidates in the crate a `use`/path root maps to. `crate`/
+    /// `self`/`super` roots stay in the calling crate.
+    fn in_extern_root(
+        &self,
+        files: &[SourceFile],
+        candidates: &[usize],
+        own_crate: &str,
+        root: &str,
+    ) -> Vec<usize> {
+        if matches!(root, "crate" | "self" | "super") {
+            return self.in_crate(files, candidates, own_crate);
+        }
+        match crate_of_extern_root(root) {
+            Some(target) => self.in_crate(files, candidates, &target),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_for(files: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let parsed: Vec<SourceFile> =
+            files.iter().map(|(rel, src)| SourceFile::parse(rel, src)).collect();
+        let graph = CallGraph::build(&parsed);
+        (parsed, graph)
+    }
+
+    fn edges(graph: &CallGraph) -> Vec<(String, Vec<String>)> {
+        graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                (
+                    n.name.clone(),
+                    graph.callees[id]
+                        .iter()
+                        .map(|&c| graph.nodes[c].name.clone())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn self_receiver_methods_resolve_within_the_callers_impl() {
+        let (_, g) = graph_for(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct Reader;\nimpl Reader {\n    pub fn word(&mut self) -> u64 { self.chunk() }\n    fn chunk(&mut self) -> u64 { 0 }\n}",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct Parser;\nimpl Parser {\n    pub fn chunk(&mut self) -> u64 { 1 }\n}",
+            ),
+        ]);
+        let e = edges(&g);
+        let word = e.iter().find(|(n, _)| n == "word").unwrap();
+        assert_eq!(word.1, ["chunk"], "exactly one edge");
+        let id = g.callees[g.nodes.iter().position(|n| n.name == "word").unwrap()][0];
+        assert_eq!(g.nodes[id].owner.as_deref(), Some("Reader"), "same-owner chunk wins");
+        assert_eq!(g.nodes[id].file, 0);
+    }
+
+    #[test]
+    fn non_self_receiver_methods_still_fan_out_by_name() {
+        let (_, g) = graph_for(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn top(p: movr_b::Parser) { p.chunk(); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct Parser;\nimpl Parser {\n    pub fn chunk(&mut self) -> u64 { 1 }\n}\npub struct Other;\nimpl Other {\n    pub fn chunk(&mut self) -> u64 { 2 }\n}",
+            ),
+        ]);
+        let e = edges(&g);
+        let top = e.iter().find(|(n, _)| n == "top").unwrap();
+        assert_eq!(top.1, ["chunk", "chunk"], "unknown receiver keeps the fan-out");
+    }
+
+    #[test]
+    fn plain_calls_prefer_same_file() {
+        let (_, g) = graph_for(&[
+            ("crates/a/src/lib.rs", "pub fn top() { helper() }\nfn helper() {}"),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        let e = edges(&g);
+        assert_eq!(e[0], ("top".to_string(), vec!["helper".to_string()]));
+        let top_callees = &g.callees[0];
+        assert_eq!(g.nodes[top_callees[0]].file, 0, "same-file helper wins");
+    }
+
+    #[test]
+    fn use_map_resolves_cross_crate_calls() {
+        let (_, g) = graph_for(&[
+            (
+                "crates/a/src/lib.rs",
+                "use movr_b::helper;\npub fn top() { helper() }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        assert_eq!(edges(&g)[0].1, ["helper"]);
+        // Without the import the call is unresolved, not guessed.
+        let (_, g2) = graph_for(&[
+            ("crates/a/src/lib.rs", "pub fn top() { helper() }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        assert!(g2.callees[0].is_empty());
+    }
+
+    #[test]
+    fn method_calls_need_a_receiver_and_skip_sinks() {
+        let (_, g) = graph_for(&[(
+            "crates/a/src/lib.rs",
+            "pub struct S;\nimpl S { pub fn go(&mut self) {} }\nfn free_go() {}\npub fn top(s: &mut S, rec: &mut R) { s.go(); rec.record(1); }",
+        )]);
+        let e = edges(&g);
+        let top = e.iter().find(|(n, _)| n == "top").expect("top node");
+        assert_eq!(top.1, ["go"], "method resolves to has_self fns only; record is a sink");
+    }
+
+    #[test]
+    fn path_calls_filter_by_impl_owner() {
+        let (_, g) = graph_for(&[(
+            "crates/a/src/lib.rs",
+            "pub struct A;\npub struct B;\nimpl A { pub fn make() -> u32 { 0 } }\nimpl B { pub fn make() -> u32 { 1 } }\npub fn top() -> u32 { A::make() }",
+        )]);
+        let top_id = g.nodes.iter().position(|n| n.name == "top").expect("top");
+        let callees = &g.callees[top_id];
+        assert_eq!(callees.len(), 1);
+        assert_eq!(g.nodes[callees[0]].owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn nested_fn_calls_belong_to_the_inner_node() {
+        let (_, g) = graph_for(&[(
+            "crates/a/src/lib.rs",
+            "fn leaf() {}\npub fn outer() {\n  fn inner() { leaf() }\n  inner()\n}",
+        )]);
+        let e = edges(&g);
+        let outer = e.iter().find(|(n, _)| n == "outer").expect("outer");
+        assert_eq!(outer.1, ["inner"], "outer is not charged for inner's call to leaf");
+        let inner = e.iter().find(|(n, _)| n == "inner").expect("inner");
+        assert_eq!(inner.1, ["leaf"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_and_non_lib_files_are_excluded() {
+        let (_, g) = graph_for(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn lib_fn() {}\n#[cfg(test)]\nmod tests { fn t() { lib_fn() } }",
+            ),
+            ("crates/a/tests/it.rs", "fn test_helper() {}"),
+        ]);
+        let names: Vec<&str> = g.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, ["lib_fn"]);
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_calls() {
+        let (_, g) = graph_for(&[(
+            "crates/a/src/lib.rs",
+            "fn assert_ready() {}\npub fn top(v: &[u64]) { vec![1]; assert_ready(); }",
+        )]);
+        let e = edges(&g);
+        let top = e.iter().find(|(n, _)| n == "top").expect("top");
+        assert_eq!(top.1, ["assert_ready"], "vec! is a macro, fn defs are not calls");
+    }
+}
+

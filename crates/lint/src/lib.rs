@@ -16,6 +16,8 @@
 //! * a `verify.sh` stage that fails CI on any non-baseline diagnostic.
 
 mod baseline;
+mod callgraph;
+mod effects;
 mod layers;
 mod lexer;
 mod order_io;
@@ -30,7 +32,7 @@ mod units;
 
 pub use baseline::Baseline;
 pub use layers::{LayerSpec, LAYERS_FILE};
-pub use rules::{Diagnostic, RULES};
+pub use rules::{rule_doc, Diagnostic, RULES, RULE_DOCS};
 pub use source::SourceFile;
 pub use units::UnitClass;
 
@@ -318,6 +320,20 @@ pub fn run_v3_passes(files: &[SourceFile]) -> Vec<Diagnostic> {
     par_capture::check(files, &mut out);
     snapshot_cov::check(files, &mut out);
     order_io::check(files, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    out
+}
+
+/// Runs only the v4 interprocedural passes (call-graph construction,
+/// effect fixpoint, and the four transitive contract rules) over
+/// already-loaded files, sorted by (file, line, rule). This is the
+/// bench harness's isolated datum for the whole-program analysis;
+/// `analyze` runs it as part of the full rule catalogue.
+pub fn run_v4_passes(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    effects::check(files, &mut out);
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });

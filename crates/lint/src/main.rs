@@ -3,6 +3,7 @@
 //! ```text
 //! movr-lint [--root DIR] [--json] [--sarif PATH] [--check-sarif PATH]
 //!           [--threads N] [--write-baseline] [--no-baseline]
+//!           [--explain RULE]
 //! ```
 //!
 //! Exit codes: 0 = clean (exactly at the pinned baseline), 1 = new
@@ -10,7 +11,8 @@
 //! SARIF document failing validation under `--check-sarif`).
 
 use movr_lint::{
-    analyze_threaded, apply_baseline, check_workspace_threaded, sarif, Baseline, BASELINE_FILE,
+    analyze_threaded, apply_baseline, check_workspace_threaded, rule_doc, sarif, Baseline,
+    BASELINE_FILE, RULES,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,18 +47,37 @@ fn main() -> ExitCode {
             },
             "--write-baseline" => write_baseline = true,
             "--no-baseline" => no_baseline = true,
+            "--explain" => match args.next() {
+                Some(rule) => {
+                    return match rule_doc(&rule) {
+                        Some(doc) => {
+                            println!("{rule}\n\n{doc}");
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("movr-lint: unknown rule `{rule}`; known rules:");
+                            for id in RULES {
+                                eprintln!("  {id}");
+                            }
+                            ExitCode::from(2)
+                        }
+                    };
+                }
+                None => return usage("--explain needs a rule id"),
+            },
             "--help" | "-h" => {
                 println!(
                     "movr-lint: determinism & unit-safety analyzer for the MoVR workspace\n\n\
                      USAGE: movr-lint [--root DIR] [--json] [--sarif PATH] [--check-sarif PATH]\n\
-                            [--threads N] [--write-baseline] [--no-baseline]\n\n\
+                            [--threads N] [--write-baseline] [--no-baseline] [--explain RULE]\n\n\
                      --root DIR         workspace root (default: current directory)\n\
                      --json             machine-readable report on stdout\n\
                      --sarif PATH       also write the report as SARIF 2.1.0 (self-validated)\n\
                      --check-sarif PATH validate an existing SARIF file and exit (0 ok, 2 invalid)\n\
                      --threads N        parse with N worker threads (output is identical for any N)\n\
                      --write-baseline   regenerate {BASELINE_FILE} from current findings\n\
-                     --no-baseline      report every diagnostic, ignoring the baseline"
+                     --no-baseline      report every diagnostic, ignoring the baseline\n\
+                     --explain RULE     print the doc string for a rule id and exit"
                 );
                 return ExitCode::SUCCESS;
             }

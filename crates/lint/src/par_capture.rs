@@ -46,8 +46,9 @@ use crate::rules::Diagnostic;
 use crate::source::{match_delim_pub, SourceFile};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Types whose capture into a parallel closure is flagged.
-const INTERIOR_MUT: &[&str] = &["RefCell", "Cell", "Rc", "MemoPattern"];
+/// Types whose capture into a parallel closure is flagged (shared with
+/// the v4 `interior-mut` effect scan).
+pub(crate) const INTERIOR_MUT: &[&str] = &["RefCell", "Cell", "Rc", "MemoPattern"];
 
 /// Methods that mutate their receiver — the fixed vocabulary the
 /// shared-mutation finding keys on.
@@ -99,7 +100,7 @@ fn check_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// `par_map(...)` call or a `.spawn(...)` method call, outermost only
 /// (a `.map(|x| …)` nested inside a spawned closure runs on the same
 /// worker and is analyzed as part of the outer body).
-fn parallel_closures(f: &SourceFile) -> Vec<&ClosureExpr> {
+pub(crate) fn parallel_closures(f: &SourceFile) -> Vec<&ClosureExpr> {
     let toks = &f.tokens;
     let mut candidates: Vec<&ClosureExpr> = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -283,7 +284,7 @@ fn enclosing_bindings(f: &SourceFile, c: &ClosureExpr) -> BTreeMap<String, Bindi
 /// Names bound *inside* the closure — its own parameters, parameters of
 /// closures nested in its body, `let` bindings, and `for` patterns.
 /// References to these never cross the thread boundary.
-fn closure_locals(f: &SourceFile, c: &ClosureExpr) -> BTreeSet<String> {
+pub(crate) fn closure_locals(f: &SourceFile, c: &ClosureExpr) -> BTreeSet<String> {
     let toks = &f.tokens;
     let mut locals: BTreeSet<String> = c.params.iter().cloned().collect();
     for nested in &f.parsed.closures {

@@ -55,6 +55,10 @@ pub struct FnSig {
     /// Inclusive token range `(open_brace, close_brace)` of the body;
     /// `None` for trait-signature declarations.
     pub body: Option<(usize, usize)>,
+    /// Self type of the innermost enclosing `impl` block (`impl Foo` or
+    /// `impl Trait for Foo` both yield `Foo`); `None` for free fns and
+    /// body-less trait signatures.
+    pub owner: Option<String>,
 }
 
 /// One imported leaf from a `use` declaration: `use movr_math::db::{a,
@@ -152,6 +156,73 @@ pub fn parse(tokens: &[Token]) -> ParsedFile {
             }
             _ => i += 1,
         }
+    }
+    // Attach impl-block owners: a fn whose body opens inside an `impl`
+    // block belongs to that block's self type. Innermost block wins
+    // (nested impls do not occur in this codebase, but be safe).
+    let impls = scan_impls(tokens);
+    for f in &mut out.fns {
+        if let Some((open, _)) = f.body {
+            f.owner = impls
+                .iter()
+                .filter(|(lo, hi, _)| *lo < open && open <= *hi)
+                .min_by_key(|(lo, hi, _)| hi - lo)
+                .map(|(_, _, name)| name.clone());
+        }
+    }
+    out
+}
+
+/// Finds every `impl` block: `(open_brace, close_brace, self_type)`.
+/// The self type is the first ident at zero angle depth after the
+/// keyword — or, for `impl Trait for Type`, the first ident after
+/// `for`. Headers the scanner cannot make sense of are skipped.
+fn scan_impls(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut angle = 0i32;
+        let mut name: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        let mut j = i + 1;
+        let open = loop {
+            let Some(t) = tokens.get(j) else { break None };
+            match &t.kind {
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle = (angle - 1).max(0),
+                TokenKind::Punct('{') if angle == 0 => break Some(j),
+                TokenKind::Punct(';') if angle == 0 => break None,
+                TokenKind::Ident(w) if angle == 0 => match w.as_str() {
+                    "for" => saw_for = true,
+                    "where" => {}
+                    "dyn" | "const" | "unsafe" | "mut" => {}
+                    w => {
+                        if saw_for {
+                            after_for.get_or_insert_with(|| w.to_string());
+                        } else {
+                            name.get_or_insert_with(|| w.to_string());
+                        }
+                    }
+                },
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let close = match_brace(tokens, open);
+        if let Some(owner) = after_for.or(name) {
+            out.push((open, close, owner));
+        }
+        // Resume just inside the block so nested impls are still seen.
+        i = open + 1;
     }
     out
 }
@@ -301,7 +372,7 @@ fn parse_fn(tokens: &[Token], fn_idx: usize, out: &mut Vec<FnSig>) -> usize {
         }
         j += 1;
     }
-    out.push(FnSig { name, line, is_pub, has_self, params, ret, body });
+    out.push(FnSig { name, line, is_pub, has_self, params, ret, body, owner: None });
     // Resume just past the signature so nested fns are still seen.
     close + 1
 }
@@ -809,6 +880,30 @@ mod tests {
         assert!(parse_src("fn f(m: M) -> u32 { match m { M::A | M::B => 1, _ => 0 } }")
             .closures
             .is_empty());
+    }
+
+    #[test]
+    fn impl_owner_is_attached_to_methods() {
+        let p = parse_src(
+            "impl Session { pub fn step(&mut self) -> u64 { 0 } }\nfn free() {}\nimpl Display for Frame { fn fmt(&self) -> u8 { 1 } }",
+        );
+        let owners: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            owners,
+            [("step", Some("Session")), ("free", None), ("fmt", Some("Frame"))]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let p = parse_src(
+            "impl<T: Into<f64>> Histogram<T> where T: Copy { fn push(&mut self, v: T) {} }",
+        );
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Histogram"));
     }
 
     #[test]

@@ -47,7 +47,76 @@ pub const RULES: &[&str] = &[
     "rng-unforked-in-par",
     "snapshot-field-uncovered",
     "unordered-iter-in-output",
+    "panic-reachable-from-decode",
+    "blocking-in-hot-loop",
+    "recorded-effect-divergence",
+    "rng-reaches-par-unforked",
 ];
+
+/// One-paragraph doc string per rule id, in the same order as [`RULES`],
+/// printed by `movr-lint --explain <rule>` and embedded in the SARIF
+/// catalogue consumers. Kept as data (not doc comments) so the binary
+/// can serve it at runtime with no proc-macro machinery.
+pub const RULE_DOCS: &[(&str, &str)] = &[
+    ("no-wall-clock",
+     "std::time::Instant/SystemTime anywhere outside the testkit and bench crates. Simulation code must be a pure function of SimTime + SimRng; a wall clock breaks bit determinism silently."),
+    ("no-external-rng",
+     "Any randomness source other than movr_math::rng::SimRng (thread_rng, StdRng, OsRng, getrandom, rand::…). External RNGs are unseeded or version-dependent; both destroy reproducibility."),
+    ("rng-fork-label-unique",
+     "Two SimRng fork/seed sites anywhere in the workspace share the same literal label. Stream identity is the label; a collision silently correlates two supposedly independent streams."),
+    ("raw-db-arithmetic",
+     "Decibel quantities combined with raw +/- or 10f64.powf outside the audited movr_math::db helpers. A 10-vs-20-log10 slip skews every link-budget figure; the helpers carry the audited conversions."),
+    ("float-exact-eq",
+     "== or != between floating-point expressions in lib code. Exact float equality is almost always a latent tolerance bug; use movr_testkit::assert_close or an explicit epsilon."),
+    ("recorded-pairing",
+     "A fn name ends in _recorded but no unsuffixed twin exists in the same file (or vice versa where required). The observability contract is a plain/recorded pair whose plain path has zero overhead."),
+    ("unwrap-in-lib",
+     ".unwrap()/.expect( in library code outside #[cfg(test)]. Library paths must surface structured errors; panics in the middle of a session kill the whole sim and its goldens."),
+    ("raw-numeric-cast",
+     "A lossy `as` cast between numeric types in lib code. Silent truncation/rounding corrupts fingerprints; use the checked movr_math::convert helpers (or a justified // lint: comment where audited)."),
+    ("unjustified-allow",
+     "#[allow(...)] without a // lint: justification comment on the same line. Suppressions are fine when they say why; naked ones rot."),
+    ("unit-mix-assign",
+     "A binding whose name declares one unit class (db/hz/meters/seconds/ratio) is assigned an expression of another. Unit slips through assignment are the quietest wrong-figure generator."),
+    ("unit-mix-arith",
+     "Additive arithmetic mixes unit classes (e.g. a _db value plus a _hz value). Multiplicative mixes are fine (gains scale quantities); additive ones are category errors."),
+    ("unit-mix-call",
+     "A call passes an argument whose unit class contradicts the parameter name of the callee (workspace-local signature match). The classic meters-into-hz slip."),
+    ("rng-fork-aliased",
+     "Two forks from the same parent stream share a label expression within a function. Aliased children replay identical draws — every consumer sees correlated randomness."),
+    ("rng-fork-in-loop",
+     "A fork whose label does not involve the loop variable sits inside a loop. Each iteration re-creates the same child stream and replays its draws."),
+    ("rng-cross-crate-untagged",
+     "A SimRng crosses a crate boundary as a bare &mut without a fork at the call site. Callees drawing from a caller's stream entangle stream state across module seams; fork a labelled child at the boundary."),
+    ("layer-violation",
+     "A crate references a movr_* crate that lint-layers.toml does not allow (or the crate is undeclared). The dependency DAG is part of the architecture; violations rot it silently."),
+    ("shared-mut-in-par-closure",
+     "A parallel closure (par_map/scope spawn) assigns to, takes &mut of, or calls a mutating method on an enclosing binding. Which worker wrote last is scheduling-dependent; return values and join in spawn order."),
+    ("interior-mut-crosses-threads",
+     "A parallel closure captures RefCell/Cell/Rc/MemoPattern state or touches a static mut. Shared interior mutability makes per-worker results order-dependent even when it compiles."),
+    ("rng-unforked-in-par",
+     "A SimRng stream owned outside a parallel closure is drawn inside it without a per-item fork keyed on the item index. Draws interleave in worker order, destroying bit-identity across thread counts."),
+    ("snapshot-field-uncovered",
+     "A field of a snapshot-codec struct is not touched by both the encode and decode paths in crates/core/src/snapshot.rs. An uncovered field silently resets on restore and the resume fingerprint diverges."),
+    ("unordered-iter-in-output",
+     "Iteration over a HashMap/HashSet feeds an output channel (writer, sink, fingerprint) without an intervening sort. Hash iteration order is randomized per process; outputs must be canonically ordered."),
+    ("panic-reachable-from-decode",
+     "A decode*/restore* fn's transitive call tree contains a panic site (unwrap/expect, panic! family, indexing). The checkpoint contract is that corrupt input yields SnapshotError, never a panic; the call graph finds the expect five helpers down. Justify unavoidable sites with // lint: <why>."),
+    ("blocking-in-hot-loop",
+     "A hot-loop root (step_frame, Session::step, the estimate_* sweep kernels) transitively reaches blocking-io or wall-clock effects. The motion-to-photon budget is milliseconds; one buried println! or Instant::now() in the per-frame path blows it, and the wall clock also breaks determinism."),
+    ("recorded-effect-divergence",
+     "A foo/foo_recorded pair whose transitive effect sets differ beyond sink-write. The recorded twin must be the plain computation plus events only; extra I/O, panics, or randomness mean the instrumented run no longer measures the plain run."),
+    ("rng-reaches-par-unforked",
+     "The transitive version of rng-unforked-in-par: a parallel closure passes an rng-carrying binding (a struct holding a SimRng, possibly nested) to a helper that transitively draws, without a per-item fork. v3 sees only direct draws; the call graph follows the draw through any number of helpers."),
+];
+
+/// The doc string for `rule`, if it is a known rule id.
+pub fn rule_doc(rule: &str) -> Option<&'static str> {
+    RULE_DOCS
+        .iter()
+        .find(|(id, _)| *id == rule)
+        .map(|(_, doc)| *doc)
+}
 
 /// Runs every rule over `files` and returns the combined findings,
 /// sorted by (file, line, rule). `layers` is the parsed
@@ -71,6 +140,7 @@ pub fn run_all(files: &[SourceFile], layers: Option<&LayerSpec>) -> Vec<Diagnost
     crate::par_capture::check(files, &mut out);
     crate::snapshot_cov::check(files, &mut out);
     crate::order_io::check(files, &mut out);
+    crate::effects::check(files, &mut out);
     if let Some(spec) = layers {
         crate::layers::check(files, spec, &mut out);
     }
@@ -525,6 +595,17 @@ mod tests {
             .into_iter()
             .map(|d| (d.rule, d.line))
             .collect()
+    }
+
+    #[test]
+    fn every_rule_has_exactly_one_doc_in_catalogue_order() {
+        let doc_ids: Vec<&str> = RULE_DOCS.iter().map(|(id, _)| *id).collect();
+        assert_eq!(doc_ids, RULES, "RULE_DOCS must mirror RULES exactly");
+        for (id, doc) in RULE_DOCS {
+            assert!(!doc.is_empty(), "{id} has an empty doc");
+            assert_eq!(rule_doc(id), Some(*doc));
+        }
+        assert_eq!(rule_doc("not-a-rule"), None);
     }
 
     #[test]

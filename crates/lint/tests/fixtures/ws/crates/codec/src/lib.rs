@@ -1,0 +1,67 @@
+//! Fixture codec shapes: panics buried below `decode*`/`restore*`
+//! roots and a recorded twin that does extra I/O — the seeded hits for
+//! the v4 interprocedural rules — plus the clean structured-error and
+//! justified-index exemplars.
+
+pub struct Frame {
+    pub words: Vec<u64>,
+}
+
+/// Seeded: the index panic is one call down — only the call graph
+/// sees it from here.
+pub fn decode_frame(bytes: &[u8]) -> Frame {
+    Frame { words: vec![read_head(bytes)] }
+}
+
+fn read_head(bytes: &[u8]) -> u64 {
+    u64::from(bytes[0])
+}
+
+/// Seeded: a direct `expect` inside a restore root.
+pub fn restore_index(slots: &[u64]) -> u64 {
+    slots.iter().copied().max().expect("index present")
+}
+
+/// Clean: corrupt input becomes a structured error.
+pub enum DecodeError {
+    Short,
+}
+
+pub fn decode_checked(bytes: &[u8]) -> Result<u64, DecodeError> {
+    match bytes.first() {
+        Some(b) => Ok(u64::from(*b)),
+        None => Err(DecodeError::Short),
+    }
+}
+
+/// Clean: the index is justified at the site.
+pub fn restore_magic(words: &[u64]) -> u64 {
+    words[0] // lint: fixture-justified — callers pin non-empty input
+}
+
+pub struct Sink {
+    pub events: Vec<u64>,
+}
+
+impl Sink {
+    pub fn record(&mut self, v: u64) {
+        self.events.push(v);
+    }
+}
+
+pub fn load(tag: u64) -> u64 {
+    tag.wrapping_mul(3)
+}
+
+/// Seeded: the recorded twin opens a file the plain path never touches.
+pub fn load_recorded(tag: u64, sink: &mut Sink) -> u64 {
+    let v = load(tag);
+    sink.record(v);
+    let _audit = std::fs::File::open("audit.log");
+    v
+}
+
+/// Blocking leaf the hot fixture reaches across the crate boundary.
+pub fn flush_audit() {
+    let _ = std::fs::File::create("audit.log");
+}

@@ -1,0 +1,38 @@
+//! Fixture hot-loop shapes: blocking I/O and the wall clock reachable
+//! from the frame path across a crate boundary — the seeded
+//! blocking-in-hot-loop hits — plus the clean sweep kernel.
+
+use movr_codec::flush_audit;
+
+pub struct Session {
+    pub t: u64,
+}
+
+impl Session {
+    /// Seeded: the audit flush blocks on file I/O a crate away.
+    pub fn step(&mut self) {
+        self.t += 1;
+        flush_audit();
+    }
+}
+
+/// Seeded: reaches blocking I/O through `Session::step` and the wall
+/// clock through `warm_cache`.
+pub fn step_frame(mut s: Session) -> u64 {
+    s.step();
+    warm_cache() + s.t
+}
+
+fn warm_cache() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}
+
+/// Clean: the sweep kernel stays compute-only.
+pub fn estimate_reflection(x: u64) -> u64 {
+    mix(x)
+}
+
+fn mix(x: u64) -> u64 {
+    x.rotate_left(7) ^ 0x9e37
+}

@@ -43,3 +43,31 @@ pub fn joined(shared: &mut Vec<u64>) {
         shared.push(0);
     });
 }
+
+/// Carrier context: the stream hides one field deep — v3's local
+/// check cannot see the draw, the v4 call graph can.
+pub struct Ctx {
+    pub rng: SimRng,
+}
+
+fn jitter(x: u64, ctx: &mut Ctx) -> u64 {
+    x ^ ctx.rng.next_u64()
+}
+
+/// Seeded: `ctx` carries the stream into `jitter`, which draws.
+pub fn batched(items: &[u64], ctx: &mut Ctx) -> Vec<u64> {
+    par_map(items, 4, |_, &x| jitter(x, ctx))
+}
+
+/// Clean: a per-item child forked from the carrier inside the closure
+/// is the only stream the items see.
+pub fn batched_forked(items: &[u64], ctx: &mut Ctx) -> Vec<u64> {
+    par_map(items, 4, |i, &x| {
+        let mut child = ctx.rng.fork(4000 + i);
+        scramble(x, &mut child)
+    })
+}
+
+fn scramble(x: u64, r: &mut SimRng) -> u64 {
+    x ^ r.next_u64()
+}

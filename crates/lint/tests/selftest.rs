@@ -30,15 +30,23 @@ const EXPECTED: &[(&str, &str, usize)] = &[
     ("layer-violation", "crates/beta/src/lib.rs", 10),
     ("layer-violation", "crates/beta/src/lib.rs", 14),
     ("layer-violation", "crates/beta/src/lib.rs", 18),
+    ("panic-reachable-from-decode", "crates/codec/src/lib.rs", 12),
+    ("panic-reachable-from-decode", "crates/codec/src/lib.rs", 21),
+    ("recorded-effect-divergence", "crates/codec/src/lib.rs", 57),
     ("snapshot-field-uncovered", "crates/core/src/session.rs", 9),
     ("snapshot-field-uncovered", "crates/core/src/session.rs", 9),
     ("snapshot-field-uncovered", "crates/core/src/session.rs", 16),
+    ("blocking-in-hot-loop", "crates/hot/src/lib.rs", 13),
+    ("blocking-in-hot-loop", "crates/hot/src/lib.rs", 21),
+    ("blocking-in-hot-loop", "crates/hot/src/lib.rs", 21),
+    ("no-wall-clock", "crates/hot/src/lib.rs", 27),
     ("unordered-iter-in-output", "crates/outp/src/lib.rs", 10),
     ("unordered-iter-in-output", "crates/outp/src/lib.rs", 18),
     ("shared-mut-in-par-closure", "crates/par/src/lib.rs", 15),
     ("interior-mut-crosses-threads", "crates/par/src/lib.rs", 16),
     ("rng-unforked-in-par", "crates/par/src/lib.rs", 17),
     ("shared-mut-in-par-closure", "crates/par/src/lib.rs", 24),
+    ("rng-reaches-par-unforked", "crates/par/src/lib.rs", 59),
     ("rng-fork-aliased", "crates/rng/src/lib.rs", 4),
     ("rng-fork-in-loop", "crates/rng/src/lib.rs", 9),
     ("rng-cross-crate-untagged", "crates/rng/src/lib.rs", 15),

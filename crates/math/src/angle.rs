@@ -72,8 +72,8 @@ impl std::fmt::Display for AngleDeg {
 /// Always yields `start`; yields `end` when the span is an exact multiple
 /// of `step` (within floating-point slack).
 pub fn sweep_deg(start: f64, end: f64, step: f64) -> Vec<f64> {
-    assert!(step > 0.0, "sweep step must be positive");
-    assert!(end >= start, "sweep end must not precede start");
+    assert!(step > 0.0, "sweep step must be positive"); // lint: sweep bounds are experiment constants, not decoded input
+    assert!(end >= start, "sweep end must not precede start"); // lint: sweep bounds are experiment constants, not decoded input
     let n = ((end - start) / step + 1e-9).floor() as usize;
     (0..=n).map(|i| start + i as f64 * step).collect()
 }

@@ -178,37 +178,42 @@ impl<'a> WireReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated {
-                at: self.pos,
-                needed: n,
-                remaining: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let trunc = WireError::Truncated {
+            at: self.pos,
+            needed: n,
+            remaining: self.remaining(),
+        };
+        // `get` + `checked_add` keep the whole read panic-free even for
+        // an absurd length prefix near `usize::MAX`.
+        let end = self.pos.checked_add(n).ok_or_else(|| trunc.clone())?;
+        let s = self.buf.get(self.pos..end).ok_or(trunc)?;
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Reads exactly `N` bytes as a fixed array.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let at = self.pos;
+        self.take(N)?.try_into().map_err(|_| WireError::Malformed {
+            at,
+            what: "field width mismatch",
+        })
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        let s = self.take(4)?;
-        let mut b = [0u8; 4];
-        b.copy_from_slice(s);
-        Ok(u32::from_le_bytes(b))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        let s = self.take(8)?;
-        let mut b = [0u8; 8];
-        b.copy_from_slice(s);
-        Ok(u64::from_le_bytes(b))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a `usize` written by [`WireWriter::usize`]. Values that do

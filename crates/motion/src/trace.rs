@@ -6,6 +6,7 @@
 //! generates long, seeded sessions for end-to-end evaluation.
 
 use crate::pose::{PlayerState, WorldState};
+use movr_math::convert::{f64_to_usize, usize_to_f64};
 use movr_math::{SimRng, Vec2};
 use movr_rfsim::{BodyPart, Obstacle, Room};
 
@@ -231,7 +232,7 @@ impl RandomWalk {
         let tick_s = 0.02; // 50 Hz trajectory sampling
         let margin = 0.5;
         let speed = 0.8; // m/s wandering speed
-        let n = (duration_s / tick_s).ceil() as usize + 1;
+        let n = f64_to_usize((duration_s / tick_s).ceil()) + 1;
 
         let mut states = Vec::with_capacity(n);
         let mut pos = Vec2::new(
@@ -243,7 +244,7 @@ impl RandomWalk {
         let mut hand_until = 0.0f64;
 
         for i in 0..n {
-            let t = i as f64 * tick_s;
+            let t = usize_to_f64(i) * tick_s;
             if pos.distance(waypoint) < 0.1 {
                 waypoint = Vec2::new(
                     rng.uniform(margin, room.width() - margin),
@@ -289,7 +290,7 @@ impl MotionTrace for RandomWalk {
     }
     fn world_at(&self, t_s: f64) -> WorldState {
         let t = t_s.clamp(0.0, self.duration_s);
-        let idx = ((t / self.tick_s) as usize).min(self.states.len() - 1);
+        let idx = f64_to_usize(t / self.tick_s).min(self.states.len() - 1);
         WorldState::player_only(self.states[idx])
     }
 }

