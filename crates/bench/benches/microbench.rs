@@ -157,6 +157,49 @@ fn bench_obs_overhead(opts: &BenchOptions) -> Vec<BenchReport> {
     ]
 }
 
+fn bench_batch_kernels(opts: &BenchOptions) -> Vec<BenchReport> {
+    // The SoA batch entry point against the scalar loop it replaces:
+    // one steered array, one full 101-bearing probe row (what a single
+    // θ₁ of the alignment sweep asks for). The batch kernel runs the
+    // same float ops in the same order — bit-identity is proven in
+    // `tests/batch_equivalence.rs` — so the entire gap is amortized
+    // per-call setup: the wrap/steering state stays in registers
+    // instead of being re-fetched 101 times.
+    use movr_phased_array::SteeredArray;
+    let mut array = SteeredArray::paper_array(-70.0);
+    array.steer_to(-102.0);
+    let bearings: Vec<f64> = (0..101).map(|i| -152.0 + f64::from(i)).collect();
+    vec![
+        bench_fn("array_gain_scalar_101", opts, || {
+            bearings.iter().map(|&b| array.gain_dbi(b)).sum::<f64>()
+        }),
+        bench_fn("array_gain_batch_101", opts, || {
+            array.gain_dbi_batch(&bearings).iter().sum::<f64>()
+        }),
+    ]
+}
+
+fn bench_pool_overhead(opts: &BenchOptions) -> Vec<BenchReport> {
+    // The dispatch cost the persistent pool exists to remove: 8
+    // near-free jobs on 2 workers, so the timing is almost entirely
+    // fan-out overhead. `par_map` pays two `thread::spawn` + join per
+    // call (stack mapping, TLS setup, scheduler wake-up); `pool_map`
+    // pays two channel round-trips to workers that already exist. The
+    // thread count is pinned at 2 — not `available_threads()` — so the
+    // two rows compare the same fan-out shape on every box, including
+    // single-core CI containers (where `available_threads()` would put
+    // both on the serial fast path and measure nothing).
+    use movr_sim::{par_map, pool_map};
+    fn tiny(_i: usize, x: &u64) -> u64 {
+        x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13)
+    }
+    let items: Vec<u64> = (0..8).collect();
+    vec![
+        bench_fn("par_tiny_scoped_spawn", opts, || par_map(&items, 2, tiny)),
+        bench_fn("par_tiny_worker_pool", opts, || pool_map(items.clone(), 2, tiny)),
+    ]
+}
+
 fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
     // Cost of the static-analysis gate itself over the real workspace:
     // lexing alone vs the full semantic pipeline (parse + unit-flow +
@@ -190,7 +233,7 @@ fn bench_lint_workspace(opts: &BenchOptions) -> Vec<BenchReport> {
 
 fn main() {
     let opts = BenchOptions::from_args(std::env::args().skip(1));
-    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 9] = [
+    let suites: [fn(&BenchOptions) -> Vec<BenchReport>; 11] = [
         bench_link_budget,
         bench_relay_budget,
         bench_gain_control,
@@ -199,6 +242,8 @@ fn main() {
         bench_alignment_sweep,
         bench_session_second,
         bench_obs_overhead,
+        bench_batch_kernels,
+        bench_pool_overhead,
         bench_lint_workspace,
     ];
     for suite in suites {

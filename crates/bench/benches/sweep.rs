@@ -1,30 +1,39 @@
-//! Sweep-rate benches: the §4.1 alignment sweep with and without the
-//! link cache, and a multi-seed session fleet with and without the
-//! deterministic thread fan-out.
+//! Sweep-rate benches: the §4.1 alignment sweep across three engine
+//! generations (seed-era uncached, PR-5 memoized scalar, batched SoA),
+//! and a multi-seed session fleet on the persistent worker pool with an
+//! explicit thread-scaling ladder.
 //!
-//! Two claims are *asserted*, not just timed:
+//! Three claims are *asserted*, not just timed:
 //!
-//! * the cached full 101×101 incidence sweep is **bit-identical** to a
-//!   seed-era uncached reference (re-trace + steering-vector rebuild per
-//!   probe) and at least 5× faster;
+//! * the batched full 101×101 incidence sweep is **bit-identical** to
+//!   both the memoized-scalar reference and the seed-era uncached
+//!   reference (re-trace + steering-vector rebuild per probe);
+//! * the memoized path is at least 5× faster than uncached, and the
+//!   batched path at least 2.5× faster again than memoized (it
+//!   measures ≈3.3× here; the gate sits below the measurement because
+//!   the two paths share a bit-pinned per-probe `powf` stream that
+//!   bounds the ratio near 4×, and a loaded single-core box compresses
+//!   it further — see DESIGN.md § "Performance, round 2");
 //! * the parallel session fleet is **byte-identical** to the same fleet
-//!   on one thread.
+//!   on one thread, at every probed thread count.
 //!
 //! Runs on the in-tree `movr-testkit` runner: one JSON line per bench
-//! plus `sweep_speedup` / `fleet_speedup` summary lines. Invoke with
+//! plus `sweep_speedup` / `batch_speedup` / `fleet_speedup` /
+//! `fleet_speedup_4t` summary lines. Invoke with
 //! `cargo bench -p movr-bench --bench sweep` (full) or
 //! `... -- --quick` (smoke profile; CI writes this to
 //! `out/BENCH_sweep.json`).
 
 use movr::alignment::{estimate_incidence, AlignmentConfig};
 use movr::reflector::MovrReflector;
+use movr::relay::round_trip_reflection_with;
 use movr::session::{run_session, SessionConfig, Strategy};
 use movr_math::{wrap_deg_180, SimRng, Vec2};
 use movr_motion::RandomWalk;
-use movr_phased_array::SteeredArray;
-use movr_radio::RadioEndpoint;
-use movr_rfsim::{Pattern, Room, Scene};
-use movr_sim::{available_threads, par_map};
+use movr_phased_array::{PatternTable, SteeredArray};
+use movr_radio::{ArrayPattern, RadioEndpoint};
+use movr_rfsim::{MemoPattern, Pattern, Room, Scene};
+use movr_sim::{available_threads, pool_map};
 use movr_testkit::{bench_with_setup, BenchOptions, BenchReport};
 
 /// Seed-era pattern adapter: every gain query rebuilds the full
@@ -99,6 +108,57 @@ fn uncached_incidence(
     best
 }
 
+/// The PR-5 generation of the sweep: traced links, pre-steered tables,
+/// and per-pattern gain memos, but still one scalar gain query and one
+/// scalar `round_trip_reflection_with` per probe. This is the "cached"
+/// row the batched engine is measured against.
+fn memoized_incidence(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    mut reflector: MovrReflector,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> (f64, f64, f64) {
+    assert!(config.modulated, "reference implements the modulated protocol");
+    reflector.set_gain_db(config.probe_gain_db);
+    reflector.set_modulating(true);
+    let forward = scene.trace_link(ap.position(), reflector.position());
+    let back = scene.trace_link(reflector.position(), ap.position());
+    let ap_table = PatternTable::new(ap.array(), &config.ap_codebook);
+    let ap_patterns: Vec<ArrayPattern<'_>> =
+        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let ap_memos: Vec<MemoPattern<'_>> =
+        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    for &theta1 in config.reflector_codebook.beams() {
+        reflector.steer_both(theta1);
+        let relay_gain_db = reflector.effective_gain_db();
+        let rx_pattern = ArrayPattern(reflector.rx_array());
+        let tx_pattern = ArrayPattern(reflector.tx_array());
+        let rx_memo = MemoPattern::new(&rx_pattern);
+        let tx_memo = MemoPattern::new(&tx_pattern);
+        for ((theta2, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
+            let reflected = round_trip_reflection_with(
+                &forward,
+                &back,
+                ap_memo,
+                ap.tx_power_dbm(),
+                relay_gain_db,
+                &rx_memo,
+                &tx_memo,
+            )
+            .unwrap_or(f64::NEG_INFINITY);
+            let reading = config
+                .probe
+                .measure_modulated(reflected, ap.tx_power_dbm(), rng);
+            if reading.power_dbm > best.0 {
+                best = (reading.power_dbm, theta1, theta2);
+            }
+        }
+    }
+    best
+}
+
 fn sweep_setup() -> (Scene, RadioEndpoint, MovrReflector, AlignmentConfig) {
     let scene = Scene::paper_office();
     let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
@@ -108,29 +168,47 @@ fn sweep_setup() -> (Scene, RadioEndpoint, MovrReflector, AlignmentConfig) {
     (scene, ap, reflector, AlignmentConfig::default())
 }
 
-/// Cached vs uncached full alignment sweep. Asserts bit-identity first,
-/// then times both and asserts the ≥ 5× speedup the link cache claims.
-fn bench_alignment_sweep(opts: &BenchOptions) -> (Vec<BenchReport>, f64) {
+/// Batched vs memoized vs uncached full alignment sweep. Asserts
+/// bit-identity across all three generations first, then times them and
+/// asserts the ≥ 5× memoized-over-uncached and ≥ 2.5× batched-over-
+/// memoized speedups the two optimisation rounds claim.
+fn bench_alignment_sweep(opts: &BenchOptions) -> (Vec<BenchReport>, f64, f64) {
     let (scene, ap, reflector, cfg) = sweep_setup();
 
     // Equivalence gate: same seed, same argmax, same peak power bits.
-    let mut rng_c = SimRng::seed_from_u64(7);
-    let cached = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_c);
+    let mut rng_b = SimRng::seed_from_u64(7);
+    let batched = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_b);
+    let mut rng_m = SimRng::seed_from_u64(7);
+    let (m_peak, m_t1, m_t2) =
+        memoized_incidence(&scene, &ap, reflector.clone(), &cfg, &mut rng_m);
     let mut rng_u = SimRng::seed_from_u64(7);
     let (peak, t1, t2) = uncached_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_u);
     assert_eq!(
-        cached.peak_power_dbm.to_bits(),
-        peak.to_bits(),
-        "cached sweep must be bit-identical to the uncached reference"
+        batched.peak_power_dbm.to_bits(),
+        m_peak.to_bits(),
+        "batched sweep must be bit-identical to the memoized reference"
     );
-    assert_eq!(cached.reflector_angle_deg, t1);
-    assert_eq!(cached.ap_angle_deg, t2);
+    assert_eq!(batched.reflector_angle_deg, m_t1);
+    assert_eq!(batched.ap_angle_deg, m_t2);
+    assert_eq!(
+        batched.peak_power_dbm.to_bits(),
+        peak.to_bits(),
+        "batched sweep must be bit-identical to the uncached reference"
+    );
+    assert_eq!(batched.reflector_angle_deg, t1);
+    assert_eq!(batched.ap_angle_deg, t2);
 
+    let r_batched = bench_with_setup(
+        "alignment_sweep_101x101_batched",
+        opts,
+        || SimRng::seed_from_u64(7),
+        |mut rng| estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
+    );
     let r_cached = bench_with_setup(
         "alignment_sweep_101x101_cached",
         opts,
         || SimRng::seed_from_u64(7),
-        |mut rng| estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
+        |mut rng| memoized_incidence(&scene, &ap, reflector.clone(), &cfg, &mut rng),
     );
     let r_uncached = bench_with_setup(
         "alignment_sweep_101x101_uncached",
@@ -138,12 +216,35 @@ fn bench_alignment_sweep(opts: &BenchOptions) -> (Vec<BenchReport>, f64) {
         || SimRng::seed_from_u64(7),
         |mut rng| uncached_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng),
     );
-    let speedup = r_uncached.median_ns / r_cached.median_ns;
-    assert!(
-        speedup >= 5.0,
-        "link cache must buy >= 5x on the full sweep, got {speedup:.2}x"
-    );
-    (vec![r_cached, r_uncached], speedup)
+    let sweep_speedup = r_uncached.median_ns / r_cached.median_ns;
+    // Paired ratios, not a ratio of the rows above: machine load
+    // drifts on second scales, so dividing two independently-taken
+    // aggregates mixes different load regimes and swings wildly for a
+    // gap this size (the ≥ 5× uncached/cached gap shrugs it off).
+    // Timing the two generations back-to-back inside each rep shows
+    // both the same machine state; the median of per-rep ratios is
+    // what the gate can rely on.
+    let mut ratios: Vec<f64> = (0..7)
+        .map(|_| {
+            let mut rng = SimRng::seed_from_u64(7);
+            let t = std::time::Instant::now();
+            std::hint::black_box(estimate_incidence(
+                &scene,
+                ap,
+                reflector.clone(),
+                &cfg,
+                &mut rng,
+            ));
+            let batched_s = t.elapsed().as_secs_f64();
+            let mut rng = SimRng::seed_from_u64(7);
+            let t = std::time::Instant::now();
+            std::hint::black_box(memoized_incidence(&scene, &ap, reflector.clone(), &cfg, &mut rng));
+            t.elapsed().as_secs_f64() / batched_s
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let batch_speedup = ratios[ratios.len() / 2];
+    (vec![r_batched, r_cached, r_uncached], sweep_speedup, batch_speedup)
 }
 
 /// Runs one seeded VR session and returns a byte-exact fingerprint of
@@ -165,20 +266,24 @@ fn session_fingerprint(seed: u64) -> String {
 }
 
 fn run_fleet(seeds: &[u64], threads: usize) -> Vec<String> {
-    par_map(seeds, threads, |_, &seed| session_fingerprint(seed))
+    pool_map(seeds.to_vec(), threads, |_, &seed| session_fingerprint(seed))
 }
 
-/// Multi-seed session fleet, sequential vs fanned out. Asserts the
-/// parallel fleet is byte-identical to the single-threaded one, and —
-/// where the machine has the cores — times an explicit 1/2/4-thread
-/// scaling ladder so the recorded numbers say what parallelism actually
-/// bought rather than implying a speedup a small box cannot show.
-fn bench_session_fleet(opts: &BenchOptions) -> (Vec<BenchReport>, f64, usize) {
+/// Multi-seed session fleet on the persistent pool, sequential vs
+/// fanned out. Asserts the parallel fleet is byte-identical to the
+/// single-threaded one at every probed thread count, and — where the
+/// machine has the cores — times an explicit 1/2/4/8-thread scaling
+/// ladder so the recorded numbers say what parallelism actually bought
+/// rather than implying a speedup a small box cannot show. Returns the
+/// reports plus `(all-cores speedup, 4-thread speedup, cores)`; the
+/// 4-thread figure is 1.0 (vacuous) below 4 cores, and the summary line
+/// carries the real thread count so the ratchet can skip honestly.
+fn bench_session_fleet(opts: &BenchOptions) -> (Vec<BenchReport>, f64, f64, usize) {
     let seeds: Vec<u64> = (0..8).collect();
     let cores = available_threads();
 
     let seq = run_fleet(&seeds, 1);
-    for probe in [2, 3, cores] {
+    for probe in [2, 3, 4, 8, cores] {
         assert_eq!(
             run_fleet(&seeds, probe),
             seq,
@@ -194,14 +299,20 @@ fn bench_session_fleet(opts: &BenchOptions) -> (Vec<BenchReport>, f64, usize) {
     );
     let mut reports = vec![r_seq];
     // The scaling ladder: only thread counts the hardware can actually
-    // schedule concurrently; a 4-thread row timed on 1 core would be
+    // schedule concurrently; an 8-thread row timed on 1 core would be
     // context-switch noise published as data.
+    let mut median_4t = None;
     for (name, t) in [
         ("session_fleet_8x1s_2threads", 2usize),
         ("session_fleet_8x1s_4threads", 4usize),
+        ("session_fleet_8x1s_8threads", 8usize),
     ] {
         if cores >= t {
-            reports.push(bench_with_setup(name, opts, || (), |()| run_fleet(&seeds, t)));
+            let r = bench_with_setup(name, opts, || (), |()| run_fleet(&seeds, t));
+            if t == 4 {
+                median_4t = Some(r.median_ns);
+            }
+            reports.push(r);
         }
     }
     let r_par = bench_with_setup(
@@ -211,14 +322,21 @@ fn bench_session_fleet(opts: &BenchOptions) -> (Vec<BenchReport>, f64, usize) {
         |()| run_fleet(&seeds, cores),
     );
     let speedup = reports[0].median_ns / r_par.median_ns;
+    let speedup_4t = median_4t.map_or(1.0, |m| reports[0].median_ns / m);
+    if cores >= 4 {
+        assert!(
+            speedup_4t >= 3.0,
+            "4-thread fleet must buy >= 3x on a >= 4-core box, got {speedup_4t:.2}x"
+        );
+    }
     reports.push(r_par);
-    (reports, speedup, cores)
+    (reports, speedup, speedup_4t, cores)
 }
 
 fn main() {
     let opts = BenchOptions::from_args(std::env::args().skip(1));
 
-    let (sweep_reports, sweep_speedup) = bench_alignment_sweep(&opts);
+    let (sweep_reports, sweep_speedup, batch_speedup) = bench_alignment_sweep(&opts);
     for r in &sweep_reports {
         println!("{}", r.json_line());
     }
@@ -226,8 +344,21 @@ fn main() {
         "{{\"name\":\"sweep_speedup\",\"speedup\":{sweep_speedup:.2},\"threshold\":5.0,\
          \"bit_identical\":true}}"
     );
+    println!(
+        "{{\"name\":\"batch_speedup\",\"speedup\":{batch_speedup:.2},\"threshold\":2.5,\
+         \"bit_identical\":true}}"
+    );
+    // Gate after the rows are out so a failing run still shows its data.
+    assert!(
+        sweep_speedup >= 5.0,
+        "link cache must buy >= 5x on the full sweep, got {sweep_speedup:.2}x"
+    );
+    assert!(
+        batch_speedup >= 2.5,
+        "batch kernels must buy >= 2.5x over the memoized sweep, got {batch_speedup:.2}x"
+    );
 
-    let (fleet_reports, fleet_speedup, cores) = bench_session_fleet(&opts);
+    let (fleet_reports, fleet_speedup, fleet_speedup_4t, cores) = bench_session_fleet(&opts);
     for r in &fleet_reports {
         println!("{}", r.json_line());
     }
@@ -237,5 +368,14 @@ fn main() {
     println!(
         "{{\"name\":\"fleet_speedup\",\"speedup\":{fleet_speedup:.2},\"threads\":{cores},\
          \"cores\":{cores},\"byte_identical\":true}}"
+    );
+    // The 4-thread rung of the ladder, pinned separately: `threads` is
+    // the rung actually timed (capped by the hardware), so the ratchet's
+    // `skip_below_threads = 4` skips this pin on smaller boxes instead
+    // of passing a vacuous 1.0.
+    println!(
+        "{{\"name\":\"fleet_speedup_4t\",\"speedup\":{fleet_speedup_4t:.2},\
+         \"threads\":{threads},\"cores\":{cores},\"byte_identical\":true}}",
+        threads = cores.min(4),
     );
 }

@@ -22,12 +22,12 @@
 //! channel.
 
 use crate::reflector::MovrReflector;
-use crate::relay::{relay_link_with, round_trip_reflection_with};
-use movr_math::SimRng;
+use crate::relay::{relay_end_snr_batched, relay_input_noise, round_trip_reflection_batched};
+use movr_math::{convert, SimRng};
 use movr_obs::{null_capture, Capture, Event};
 use movr_phased_array::{Codebook, PatternTable};
-use movr_radio::{ArrayPattern, RadioEndpoint, ToneProbe};
-use movr_rfsim::{MemoPattern, Scene};
+use movr_radio::{RadioEndpoint, ToneProbe};
+use movr_rfsim::Scene;
 use movr_sim::SimTime;
 
 /// Alignment-protocol parameters.
@@ -126,47 +126,43 @@ pub fn estimate_incidence_recorded(
     let mut measurements = 0usize;
 
     // Path geometry is frozen for the whole sweep: trace both legs of
-    // the round trip once, pre-steer the AP to every θ₂ candidate once,
-    // and memoize gain lookups per pattern while its steering is fixed
-    // (the path angles never change, so each distinct query computes
-    // once). Each probe below is then pure reweighting — bit-identical
-    // to steering and re-tracing per probe, at a fraction of the cost.
-    let forward = scene.trace_link(ap.position(), reflector.position());
-    let back = scene.trace_link(reflector.position(), ap.position());
+    // the round trip once, freeze them into tap batches, and evaluate
+    // the AP's whole codebook page against the fixed path bearings with
+    // the SoA batch kernels up front. Per θ₁ the reflector's own gain
+    // rows are batched once; each probe below is then two
+    // multiply-accumulate passes over the taps — bit-identical to
+    // steering and re-tracing per probe, at a fraction of the cost.
+    let fwd = scene.trace_link(ap.position(), reflector.position()).batch();
+    let bck = scene.trace_link(reflector.position(), ap.position()).batch();
     let ap_table = PatternTable::new(ap.array(), &config.ap_codebook);
-    let ap_patterns: Vec<ArrayPattern<'_>> =
-        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
-    let ap_memos: Vec<MemoPattern<'_>> =
-        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+    let ap_fwd_page = ap_table.fill_page(fwd.departure_deg());
+    let ap_bck_page = ap_table.fill_page(bck.arrival_deg());
+    // The probe's leakage and floor terms are fixed for the sweep too.
+    let meter = if config.modulated {
+        config.probe.modulated_meter(ap.tx_power_dbm())
+    } else {
+        config.probe.unmodulated_meter(ap.tx_power_dbm())
+    };
 
     for &theta1 in config.reflector_codebook.beams() {
         reflector.steer_both(theta1);
         cursor += config.beam_command_latency;
         let relay_gain_db = reflector.effective_gain_db();
-        let rx_pattern = ArrayPattern(reflector.rx_array());
-        let tx_pattern = ArrayPattern(reflector.tx_array());
-        let rx_memo = MemoPattern::new(&rx_pattern);
-        let tx_memo = MemoPattern::new(&tx_pattern);
-        for ((theta2, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
-            let reflected = round_trip_reflection_with(
-                &forward,
-                &back,
-                ap_memo,
+        let rx_gains = reflector.rx_array().gain_dbi_batch(fwd.arrival_deg());
+        let tx_gains = reflector.tx_array().gain_dbi_batch(bck.departure_deg());
+        for (j, (theta2, _)) in ap_table.entries().enumerate() {
+            let reflected = round_trip_reflection_batched(
+                &fwd,
+                &bck,
+                ap_fwd_page.row(j),
+                ap_bck_page.row(j),
                 ap.tx_power_dbm(),
                 relay_gain_db,
-                &rx_memo,
-                &tx_memo,
+                &rx_gains,
+                &tx_gains,
             )
             .unwrap_or(f64::NEG_INFINITY);
-            let reading = if config.modulated {
-                config
-                    .probe
-                    .measure_modulated(reflected, ap.tx_power_dbm(), rng)
-            } else {
-                config
-                    .probe
-                    .measure_unmodulated(reflected, ap.tx_power_dbm(), rng)
-            };
+            let reading = meter.measure(reflected, rng);
             measurements += 1;
             cursor += config.dwell;
             if rec.enabled() {
@@ -183,8 +179,8 @@ pub fn estimate_incidence_recorded(
         }
     }
 
-    let n1 = config.reflector_codebook.len() as u64;
-    let n2 = config.ap_codebook.len() as u64;
+    let n1 = convert::usize_to_u64(config.reflector_codebook.len());
+    let n2 = convert::usize_to_u64(config.ap_codebook.len());
     let elapsed = SimTime::from_nanos(
         n1 * config.beam_command_latency.as_nanos() + n1 * n2 * config.dwell.as_nanos(),
     );
@@ -380,20 +376,24 @@ pub fn estimate_reflection_recorded(
     let mut measurements = 0usize;
     let snr_sigma_db = 0.5;
 
-    // Geometry is frozen for the sweep: trace both relay hops once,
-    // pre-steer the headset to every candidate once, and memoize gain
-    // queries per pattern while its steering is fixed (AP and headset
-    // candidates for the whole sweep; the reflector's beams per TX
-    // candidate).
-    let hop1 = scene.trace_link(ap.position(), reflector.position());
-    let hop2 = scene.trace_link(reflector.position(), headset.position());
+    // Geometry is frozen for the sweep: trace both relay hops once and
+    // freeze them into tap batches. The AP's and the reflector's RX
+    // steering never change, so hop 1 — received power and front-end
+    // SNR — is one loop invariant computed up front; the headset's whole
+    // candidate page is batched against hop 2's arrival bearings once.
+    // Per TX candidate only the reflector's TX gain row and the (gain-
+    // controlled) amplifier setting vary.
+    let hop1 = scene
+        .trace_link(ap.position(), reflector.position())
+        .batch()
+        .with_noise(&relay_input_noise(scene));
+    let hop2 = scene.trace_link(reflector.position(), headset.position()).batch();
     let hs_table = PatternTable::new(headset.array(), headset_codebook);
-    let ap_pattern = ArrayPattern(ap.array());
-    let ap_memo = MemoPattern::new(&ap_pattern);
-    let hs_patterns: Vec<ArrayPattern<'_>> =
-        hs_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
-    let hs_memos: Vec<MemoPattern<'_>> =
-        hs_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+    let hs_page = hs_table.fill_page(hop2.arrival_deg());
+    let ap_gains = ap.array().gain_dbi_batch(hop1.departure_deg());
+    let rx_gains = reflector.rx_array().gain_dbi_batch(hop1.arrival_deg());
+    let hop1_received_dbm = hop1.received_dbm(ap.tx_power_dbm(), &ap_gains, &rx_gains);
+    let hop1_snr_db = hop1.snr_db(hop1_received_dbm);
 
     for &tx_deg in tx_codebook.beams() {
         reflector.steer_tx(tx_deg);
@@ -407,22 +407,18 @@ pub fn estimate_reflection_recorded(
             cursor,
             rec,
         );
-        let rx_pattern = ArrayPattern(reflector.rx_array());
-        let tx_pattern = ArrayPattern(reflector.tx_array());
-        let rx_memo = MemoPattern::new(&rx_pattern);
-        let tx_memo = MemoPattern::new(&tx_pattern);
-        for ((rx_deg, _), hs_memo) in hs_table.entries().zip(&hs_memos) {
-            let budget = relay_link_with(
-                &hop1,
+        let relay_gain_db = reflector.effective_gain_db();
+        let tx_gains = reflector.tx_array().gain_dbi_batch(hop2.departure_deg());
+        for (j, (rx_deg, _)) in hs_table.entries().enumerate() {
+            let end_snr_db = relay_end_snr_batched(
+                hop1_received_dbm,
+                hop1_snr_db,
+                relay_gain_db,
                 &hop2,
-                &ap_memo,
-                ap.tx_power_dbm(),
-                &reflector,
-                &rx_memo,
-                &tx_memo,
-                hs_memo,
+                &tx_gains,
+                hs_page.row(j),
             );
-            let reported = budget.end_snr_db + rng.normal(0.0, snr_sigma_db);
+            let reported = end_snr_db + rng.normal(0.0, snr_sigma_db);
             measurements += 1;
             cursor += config.dwell;
             if rec.enabled() {
@@ -439,8 +435,8 @@ pub fn estimate_reflection_recorded(
         }
     }
 
-    let n1 = tx_codebook.len() as u64;
-    let n2 = headset_codebook.len() as u64;
+    let n1 = convert::usize_to_u64(tx_codebook.len());
+    let n2 = convert::usize_to_u64(headset_codebook.len());
     let elapsed = SimTime::from_nanos(
         n1 * config.beam_command_latency.as_nanos() + n1 * n2 * config.dwell.as_nanos(),
     );

@@ -11,8 +11,8 @@
 
 use movr_math::wrap_deg_180;
 use movr_phased_array::{Codebook, PatternTable};
-use movr_radio::{evaluate_link, ArrayPattern, RadioEndpoint};
-use movr_rfsim::{MemoPattern, Scene};
+use movr_radio::{evaluate_link, RadioEndpoint};
+use movr_rfsim::Scene;
 
 /// Steers both endpoints at each other and returns the resulting SNR (dB)
 /// through the scene's current obstacle set.
@@ -58,33 +58,28 @@ pub fn opt_nlos(
         combinations: 0,
     };
 
-    // One trace and two pre-steered tables cover the whole search; each
-    // combination below is a pure reweighting, bit-identical to steering
-    // live endpoints through `evaluate_link`. Gain queries hit the same
-    // fixed path angles for every combination, so each candidate pattern
-    // is memoized for the duration of the search.
-    let link = scene.trace_link(ap.position(), headset.position());
+    // One trace and two codebook-page gain tables cover the whole
+    // search: the link is frozen into a tap batch and both sides' pages
+    // are evaluated against the fixed path bearings with the SoA batch
+    // kernels up front. Each combination below is two slice lookups and
+    // one multiply-accumulate pass — bit-identical to steering live
+    // endpoints through `evaluate_link`.
+    let link = scene.trace_link(ap.position(), headset.position()).batch();
     let ap_table = PatternTable::new(ap.array(), ap_codebook);
     let hs_table = PatternTable::new(headset.array(), headset_codebook);
-    let ap_patterns: Vec<ArrayPattern<'_>> =
-        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
-    let ap_memos: Vec<MemoPattern<'_>> =
-        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
-    let hs_patterns: Vec<ArrayPattern<'_>> =
-        hs_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
-    let hs_memos: Vec<MemoPattern<'_>> =
-        hs_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+    let ap_page = ap_table.fill_page(link.departure_deg());
+    let hs_page = hs_table.fill_page(link.arrival_deg());
 
-    for ((a, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
+    for (i, (a, _)) in ap_table.entries().enumerate() {
         let ap_is_direct = wrap_deg_180(a - direct_ap).abs() <= exclude_cone_deg;
-        for ((h, _), hs_memo) in hs_table.entries().zip(&hs_memos) {
+        for (j, (h, _)) in hs_table.entries().enumerate() {
             let hs_is_direct = wrap_deg_180(h - direct_hs).abs() <= exclude_cone_deg;
             if ap_is_direct && hs_is_direct {
                 continue;
             }
             best.combinations += 1;
             let snr = link
-                .evaluate(ap_memo, ap.tx_power_dbm(), hs_memo)
+                .eval(ap.tx_power_dbm(), ap_page.row(i), hs_page.row(j))
                 .snr_db;
             if snr > best.snr_db {
                 best.snr_db = snr;

@@ -16,7 +16,7 @@
 use crate::reflector::MovrReflector;
 use movr_phased_array::SteeredArray;
 use movr_radio::{ArrayPattern, RadioEndpoint};
-use movr_rfsim::{NoiseModel, Pattern, Scene, TracedLink};
+use movr_rfsim::{LinkBatch, NoiseModel, Pattern, Scene, TracedLink};
 
 /// The reflector's analog front end is a low-noise amplifier chain with no
 /// baseband processing: a better noise figure and none of the headset's
@@ -30,6 +30,15 @@ fn relay_front_end_noise(scene: &Scene) -> NoiseModel {
         implementation_loss_db: 0.0,
         temperature_k: scene.noise().temperature_k,
     }
+}
+
+/// The reflector front end's noise model in `scene` — the budget hop-1
+/// SNR is computed against. Exposed so batched sweeps can fold it into a
+/// [`LinkBatch`] once (via [`LinkBatch::with_noise`]) instead of
+/// rebuilding it per probe; both routes compute the same floor from the
+/// same fields, so the SNRs are bit-identical.
+pub fn relay_input_noise(scene: &Scene) -> NoiseModel {
+    relay_front_end_noise(scene)
 }
 
 /// The budget of a relayed link.
@@ -200,6 +209,66 @@ pub fn round_trip_reflection_with(
     Some(hop2.received_dbm)
 }
 
+/// [`round_trip_reflection_with`] over frozen hops and per-path gain
+/// rows: `forward`/`back` are the two legs as [`LinkBatch`]es and each
+/// gain slice weights that leg's paths in path order (AP gains over the
+/// forward departures and back arrivals, reflector RX over the forward
+/// arrivals, reflector TX over the back departures). A sweep computes
+/// the AP rows once per codebook page and the reflector rows once per
+/// posture, so each probe is two multiply-accumulate passes.
+/// Bit-identical to [`round_trip_reflection_with`] for faithful rows:
+/// the hop evaluations replicate [`movr_rfsim::Scene::eval_paths`]
+/// term-for-term, and the hop-1 power skipped when the amplifier is
+/// off/saturated was computed-then-discarded in the scalar form.
+///
+/// # Panics
+/// Panics if a gain row's length differs from its leg's tap count.
+#[allow(clippy::too_many_arguments)] // lint: the four gain rows are the point of this entry
+pub fn round_trip_reflection_batched(
+    forward: &LinkBatch,
+    back: &LinkBatch,
+    ap_forward_gains: &[f64],
+    ap_back_gains: &[f64],
+    ap_tx_power_dbm: f64,
+    relay_gain_db: Option<f64>,
+    relay_rx_gains: &[f64],
+    relay_tx_gains: &[f64],
+) -> Option<f64> {
+    let gain_db = relay_gain_db?;
+    let hop1_dbm = forward.received_dbm(ap_tx_power_dbm, ap_forward_gains, relay_rx_gains);
+    let out_dbm = hop1_dbm + gain_db;
+    Some(back.received_dbm(out_dbm, relay_tx_gains, ap_back_gains))
+}
+
+/// End-to-end relay SNR for one headset-beam candidate of a reflection
+/// sweep whose hop-1 weighting is fixed: the caller evaluates hop 1 once
+/// (received power plus front-end SNR against [`relay_input_noise`],
+/// both loop invariants) and this folds in the per-candidate hop 2.
+/// `hop2` must carry the scene's receiver noise (the default from
+/// [`movr_rfsim::TracedLink::batch`]); `relay_tx_gains` weight its
+/// departures and `headset_gains` its arrivals. Bit-identical to
+/// [`relay_link_with`]'s `end_snr_db` for faithful rows.
+///
+/// # Panics
+/// Panics if a gain row's length differs from `hop2`'s tap count.
+pub fn relay_end_snr_batched(
+    hop1_received_dbm: f64,
+    hop1_snr_db: f64,
+    relay_gain_db: Option<f64>,
+    hop2: &LinkBatch,
+    relay_tx_gains: &[f64],
+    headset_gains: &[f64],
+) -> f64 {
+    match relay_gain_db {
+        Some(gain_db) => {
+            let out_dbm = hop1_received_dbm + gain_db;
+            let hop2_received = hop2.received_dbm(out_dbm, relay_tx_gains, headset_gains);
+            hop1_snr_db.min(hop2.snr_db(hop2_received))
+        }
+        None => f64::NEG_INFINITY,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +401,87 @@ mod tests {
         let (scene, ap, mut reflector, _hs) = setup();
         reflector.set_amplifier_enabled(false);
         assert!(round_trip_reflection_dbm(&scene, &ap, &reflector).is_none());
+    }
+
+    #[test]
+    fn batched_round_trip_bit_identical_to_scalar() {
+        let (scene, ap, mut reflector, _hs) = setup();
+        let to_ap = reflector.position().bearing_deg_to(ap.position());
+        let forward = scene.trace_link(ap.position(), reflector.position());
+        let back = scene.trace_link(reflector.position(), ap.position());
+        let fwd = forward.batch();
+        let bck = back.batch();
+        let ap_fwd = ap.array().gain_dbi_batch(fwd.departure_deg());
+        let ap_bck = ap.array().gain_dbi_batch(bck.arrival_deg());
+        for offset in [0.0, 3.0, 35.0] {
+            reflector.steer_both(to_ap + offset);
+            reflector.set_gain_db(reflector.loop_attenuation_db() - 6.0);
+            let rx = reflector.rx_array().gain_dbi_batch(fwd.arrival_deg());
+            let tx = reflector.tx_array().gain_dbi_batch(bck.departure_deg());
+            let scalar = round_trip_reflection_on(
+                &forward,
+                &back,
+                ap.array(),
+                ap.tx_power_dbm(),
+                &reflector,
+            )
+            .expect("amplifier on");
+            let batched = round_trip_reflection_batched(
+                &fwd,
+                &bck,
+                &ap_fwd,
+                &ap_bck,
+                ap.tx_power_dbm(),
+                reflector.effective_gain_db(),
+                &rx,
+                &tx,
+            )
+            .expect("amplifier on");
+            assert_eq!(batched.to_bits(), scalar.to_bits(), "offset={offset}");
+        }
+        reflector.set_amplifier_enabled(false);
+        assert!(round_trip_reflection_batched(
+            &fwd,
+            &bck,
+            &ap_fwd,
+            &ap_bck,
+            ap.tx_power_dbm(),
+            reflector.effective_gain_db(),
+            &[],
+            &[],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn batched_relay_end_snr_bit_identical_to_scalar() {
+        let (scene, ap, reflector, headset) = setup();
+        let scalar = relay_link(&scene, &ap, &reflector, &headset);
+        let hop1 = scene.trace_link(ap.position(), reflector.position());
+        let hop2 = scene.trace_link(reflector.position(), headset.position());
+        let h1 = hop1.batch().with_noise(&relay_input_noise(&scene));
+        let h2 = hop2.batch();
+        let ap_g = ap.array().gain_dbi_batch(h1.departure_deg());
+        let rx_g = reflector.rx_array().gain_dbi_batch(h1.arrival_deg());
+        let tx_g = reflector.tx_array().gain_dbi_batch(h2.departure_deg());
+        let hs_g = headset.array().gain_dbi_batch(h2.arrival_deg());
+        let r1 = h1.received_dbm(ap.tx_power_dbm(), &ap_g, &rx_g);
+        let s1 = h1.snr_db(r1);
+        assert_eq!(r1.to_bits(), scalar.hop1_received_dbm.to_bits());
+        assert_eq!(s1.to_bits(), scalar.hop1_snr_db.to_bits());
+        let end = relay_end_snr_batched(
+            r1,
+            s1,
+            reflector.effective_gain_db(),
+            &h2,
+            &tx_g,
+            &hs_g,
+        );
+        assert_eq!(end.to_bits(), scalar.end_snr_db.to_bits());
+        // Amplifier off: the batched form must report the same dead link.
+        assert_eq!(
+            relay_end_snr_batched(r1, s1, None, &h2, &tx_g, &hs_g),
+            f64::NEG_INFINITY
+        );
     }
 }

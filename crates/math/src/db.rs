@@ -8,12 +8,14 @@
 /// Converts a power *ratio* in dB to a linear power ratio.
 ///
 /// `db_to_linear(3.0) ≈ 2.0`, `db_to_linear(-10.0) == 0.1`.
+#[inline]
 pub fn db_to_linear(db: f64) -> f64 {
     10f64.powf(db / 10.0)
 }
 
 /// Converts a linear power ratio to dB. Returns `-inf` for a zero or
 /// negative ratio (no signal).
+#[inline]
 pub fn linear_to_db(ratio: f64) -> f64 {
     if ratio <= 0.0 {
         f64::NEG_INFINITY
@@ -24,11 +26,13 @@ pub fn linear_to_db(ratio: f64) -> f64 {
 
 /// Converts a *field* (amplitude/voltage) ratio in dB to linear.
 /// `20·log10` convention: 6 dB ≈ 2×.
+#[inline]
 pub fn db_to_amplitude(db: f64) -> f64 {
     10f64.powf(db / 20.0)
 }
 
 /// Converts a linear amplitude ratio to dB (`20·log10`).
+#[inline]
 pub fn amplitude_to_db(ratio: f64) -> f64 {
     if ratio <= 0.0 {
         f64::NEG_INFINITY
@@ -38,11 +42,13 @@ pub fn amplitude_to_db(ratio: f64) -> f64 {
 }
 
 /// Converts absolute power in dBm to watts. `0 dBm == 1 mW`.
+#[inline]
 pub fn dbm_to_watts(dbm: f64) -> f64 {
     1e-3 * db_to_linear(dbm)
 }
 
 /// Converts absolute power in watts to dBm.
+#[inline]
 pub fn watts_to_dbm(watts: f64) -> f64 {
     linear_to_db(watts / 1e-3)
 }

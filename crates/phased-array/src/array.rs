@@ -28,6 +28,11 @@ pub const STEERING_LATENCY_S: f64 = 0.5e-6;
 /// leaves ample room for ablations.
 pub const MAX_ELEMENTS: usize = 32;
 
+/// Observation angles evaluated together by the batch kernels: one
+/// four-wide lane group, sized to an `f64x4` vector register so the
+/// autovectorizer can keep the whole accumulator set in registers.
+pub const BATCH_LANES: usize = 4;
+
 /// The per-element state of one steering command, precomputed:
 /// DAC-quantised applied phases, taper weights, and the aperture
 /// directivity term. These depend only on the steer command, not the
@@ -85,6 +90,136 @@ impl SteeringVector {
         }
         let af = self.array_factor(theta).abs();
         self.directivity_db + self.element.gain_dbi(theta) + amplitude_to_db(af)
+    }
+
+    /// Accumulates the (un-normalised) array-factor sum for one lane
+    /// group of observation sines. Structure-of-arrays inner loop: the
+    /// element loop is outermost and each element's contribution lands
+    /// in [`BATCH_LANES`] independent re/im accumulators, so the
+    /// per-lane accumulation order is exactly the scalar
+    /// [`SteeringVector::array_factor`] order (bit-identical results)
+    /// while the lane dimension stays open for vectorisation.
+    fn accumulate_lanes(
+        &self,
+        sin_t: &[f64; BATCH_LANES],
+    ) -> ([f64; BATCH_LANES], [f64; BATCH_LANES]) {
+        let mut acc_re = [0.0; BATCH_LANES];
+        let mut acc_im = [0.0; BATCH_LANES];
+        let per_element = self
+            .slope
+            .iter()
+            .zip(self.applied_rad.iter())
+            .zip(self.weight.iter());
+        for ((sl, ar), wt) in per_element.take(self.n) {
+            let lanes = acc_re.iter_mut().zip(acc_im.iter_mut()).zip(sin_t.iter());
+            for ((re, im), st) in lanes {
+                let phase = sl * st + ar;
+                // exp_j(phase) * wt, unrolled into the SoA accumulators.
+                *re += phase.cos() * wt;
+                *im += phase.sin() * wt;
+            }
+        }
+        (acc_re, acc_im)
+    }
+
+    /// Batch form of [`SteeringVector::array_factor`]: evaluates every
+    /// angle of `thetas_deg` into `out`. Bit-identical per angle to the
+    /// scalar path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != thetas_deg.len()`.
+    pub fn array_factor_batch_into(&self, thetas_deg: &[f64], out: &mut [C64]) {
+        assert_eq!(
+            thetas_deg.len(),
+            out.len(),
+            "batch output length must match the input"
+        );
+        let chunks = thetas_deg
+            .chunks(BATCH_LANES)
+            .zip(out.chunks_mut(BATCH_LANES));
+        for (t_chunk, o_chunk) in chunks {
+            if t_chunk.len() == BATCH_LANES {
+                let mut sin_t = [0.0; BATCH_LANES];
+                for (st, th) in sin_t.iter_mut().zip(t_chunk) {
+                    *st = th.to_radians().sin();
+                }
+                let (acc_re, acc_im) = self.accumulate_lanes(&sin_t);
+                for ((o, re), im) in o_chunk.iter_mut().zip(acc_re).zip(acc_im) {
+                    *o = C64::new(re, im) / self.weight_sum;
+                }
+            } else {
+                // Remainder lanes take the scalar path (bit-identical
+                // by the scalar kernel's own guarantee).
+                for (o, &th) in o_chunk.iter_mut().zip(t_chunk) {
+                    *o = self.array_factor(th);
+                }
+            }
+        }
+    }
+
+    /// Batch form of [`SteeringVector::array_factor`], allocating the
+    /// output.
+    pub fn array_factor_batch(&self, thetas_deg: &[f64]) -> Vec<C64> {
+        let mut out = vec![C64::ZERO; thetas_deg.len()];
+        self.array_factor_batch_into(thetas_deg, &mut out);
+        out
+    }
+
+    /// Batch form of [`SteeringVector::gain_dbi`]: evaluates every
+    /// angle of `thetas_deg` into `out`. Bit-identical per angle to the
+    /// scalar path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != thetas_deg.len()`.
+    pub fn gain_dbi_batch_into(&self, thetas_deg: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            thetas_deg.len(),
+            out.len(),
+            "batch output length must match the input"
+        );
+        let chunks = thetas_deg
+            .chunks(BATCH_LANES)
+            .zip(out.chunks_mut(BATCH_LANES));
+        for (t_chunk, o_chunk) in chunks {
+            if t_chunk.len() == BATCH_LANES {
+                let mut wrapped = [0.0; BATCH_LANES];
+                let mut sin_t = [0.0; BATCH_LANES];
+                let lanes = wrapped.iter_mut().zip(sin_t.iter_mut()).zip(t_chunk);
+                for ((w, st), th) in lanes {
+                    *w = wrap_deg_180(*th);
+                    *st = w.to_radians().sin();
+                }
+                let (acc_re, acc_im) = self.accumulate_lanes(&sin_t);
+                let results = o_chunk
+                    .iter_mut()
+                    .zip(wrapped.iter())
+                    .zip(acc_re)
+                    .zip(acc_im);
+                for (((o, &w), re), im) in results {
+                    *o = if w.abs() >= 90.0 {
+                        // Behind the ground plane: the lane's AF
+                        // accumulator is simply discarded, matching the
+                        // scalar early return.
+                        self.element.gain_dbi(w)
+                    } else {
+                        let af = (C64::new(re, im) / self.weight_sum).abs();
+                        self.directivity_db + self.element.gain_dbi(w) + amplitude_to_db(af)
+                    };
+                }
+            } else {
+                for (o, &th) in o_chunk.iter_mut().zip(t_chunk) {
+                    *o = self.gain_dbi(th);
+                }
+            }
+        }
+    }
+
+    /// Batch form of [`SteeringVector::gain_dbi`], allocating the
+    /// output.
+    pub fn gain_dbi_batch(&self, thetas_deg: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; thetas_deg.len()];
+        self.gain_dbi_batch_into(thetas_deg, &mut out);
+        out
     }
 }
 
@@ -361,6 +496,27 @@ impl SteeredArray {
         let local = wrap_deg_180(absolute_deg - self.boresight_deg);
         self.vector.gain_dbi(local)
     }
+
+    /// Batch form of [`SteeredArray::gain_dbi`]: gains toward a whole
+    /// slice of absolute room bearings under the current steering,
+    /// bit-identical per bearing to the scalar query.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != absolute_deg.len()`.
+    pub fn gain_dbi_batch_into(&self, absolute_deg: &[f64], out: &mut [f64]) {
+        let local: Vec<f64> = absolute_deg
+            .iter()
+            .map(|&a| wrap_deg_180(a - self.boresight_deg))
+            .collect();
+        self.vector.gain_dbi_batch_into(&local, out);
+    }
+
+    /// Batch form of [`SteeredArray::gain_dbi`], allocating the output.
+    pub fn gain_dbi_batch(&self, absolute_deg: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; absolute_deg.len()];
+        self.gain_dbi_batch_into(absolute_deg, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -478,6 +634,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Same discipline as `tests/cache_equivalence.rs`: the batch SoA
+    /// kernels must reproduce the scalar reference bit-for-bit across
+    /// tapers, quantisation settings, full/remainder lane groups, and
+    /// both hemispheres (including far wraps beyond ±180°).
+    #[test]
+    fn batch_kernels_bit_identical_to_scalar() {
+        let arrays = [
+            UniformLinearArray::paper_array(),
+            UniformLinearArray::paper_array().with_taper(Taper::RaisedCosine { pedestal: 0.3 }),
+            UniformLinearArray::new(32, 0.5, PatchElement::default(), PhaseShifter::with_bits(4)),
+            UniformLinearArray::new(1, 0.5, PatchElement::default(), PhaseShifter::default()),
+        ];
+        // Lengths exercising every remainder (0..LANES-1) plus a full
+        // sweep-sized batch.
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 101] {
+            let thetas: Vec<f64> = (0..len)
+                .map(|k| -250.0 + convert::usize_to_f64(k) * 5.3)
+                .collect();
+            for arr in &arrays {
+                for steer in [-61.3, 0.0, 45.0] {
+                    let sv = arr.steering_vector(steer);
+                    let af_batch = sv.array_factor_batch(&thetas);
+                    let g_batch = sv.gain_dbi_batch(&thetas);
+                    assert_eq!(af_batch.len(), len);
+                    for ((&th, af), g) in thetas.iter().zip(&af_batch).zip(&g_batch) {
+                        let af_ref = reference_array_factor(arr, steer, th);
+                        assert_eq!(af.re.to_bits(), af_ref.re.to_bits(), "steer={steer} th={th}");
+                        assert_eq!(af.im.to_bits(), af_ref.im.to_bits(), "steer={steer} th={th}");
+                        assert_eq!(
+                            g.to_bits(),
+                            reference_gain_dbi(arr, steer, th).to_bits(),
+                            "steer={steer} th={th}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steered_array_batch_matches_scalar_queries() {
+        let mut sa = SteeredArray::paper_array(90.0);
+        sa.steer_to(117.0);
+        let bearings: Vec<f64> = (0..97).map(|k| -190.0 + convert::usize_to_f64(k) * 4.1).collect();
+        let batch = sa.gain_dbi_batch(&bearings);
+        for (&b, g) in bearings.iter().zip(&batch) {
+            assert_eq!(g.to_bits(), sa.gain_dbi(b).to_bits(), "bearing={b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn batch_length_mismatch_rejected() {
+        let sv = UniformLinearArray::paper_array().steering_vector(0.0);
+        let mut out = [0.0; 3];
+        sv.gain_dbi_batch_into(&[1.0, 2.0], &mut out);
     }
 
     #[test]

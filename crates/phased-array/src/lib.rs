@@ -23,9 +23,9 @@ pub mod shifter;
 pub mod table;
 pub mod taper;
 
-pub use array::{SteeredArray, SteeringVector, UniformLinearArray, MAX_ELEMENTS};
+pub use array::{SteeredArray, SteeringVector, UniformLinearArray, BATCH_LANES, MAX_ELEMENTS};
 pub use codebook::Codebook;
-pub use table::PatternTable;
+pub use table::{GainPage, PatternTable};
 pub use element::PatchElement;
 pub use shifter::PhaseShifter;
 pub use taper::Taper;

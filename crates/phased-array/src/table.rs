@@ -65,6 +65,54 @@ impl PatternTable {
     pub fn array(&self, i: usize) -> &SteeredArray {
         &self.arrays[i]
     }
+
+    /// Evaluates every entry's gain toward every bearing in one pass:
+    /// row `i` of the returned page is entry `i`'s
+    /// [`SteeredArray::gain_dbi_batch`] over `bearings_deg`. A sweep
+    /// computes its observation-angle page once and the inner loop
+    /// becomes a slice lookup.
+    pub fn fill_page(&self, bearings_deg: &[f64]) -> GainPage {
+        let cols = bearings_deg.len();
+        let mut data = vec![0.0; self.arrays.len() * cols];
+        if cols > 0 {
+            for (arr, row) in self.arrays.iter().zip(data.chunks_mut(cols)) {
+                arr.gain_dbi_batch_into(bearings_deg, row);
+            }
+        }
+        GainPage { rows: self.arrays.len(), cols, data }
+    }
+}
+
+/// A dense `entries × bearings` gain matrix produced by
+/// [`PatternTable::fill_page`]: one row per codebook entry, one column
+/// per observation bearing, values in dBi. Bit-identical to calling
+/// [`SteeredArray::gain_dbi`] per cell.
+#[derive(Debug, Clone)]
+pub struct GainPage {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl GainPage {
+    /// Number of codebook entries (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of observation bearings (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `i`'s gains over the page's bearings, in dBi.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "GainPage row {i} out of range ({} rows)", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
 }
 
 #[cfg(test)]
@@ -104,5 +152,42 @@ mod tests {
         let table = PatternTable::new(&base, &Codebook::from_beams(vec![10.0]));
         assert!(!table.is_empty());
         assert_eq!(table.entries().count(), 1);
+    }
+
+    #[test]
+    fn page_is_bit_identical_to_per_cell_queries() {
+        let base = SteeredArray::paper_array(90.0);
+        let codebook = Codebook::sweep(40.0, 140.0, 7.0);
+        let table = PatternTable::new(&base, &codebook);
+        // 13 bearings: exercises a remainder lane group inside the
+        // batch kernel as well as back-hemisphere wraps.
+        let bearings: Vec<f64> = (0..13).map(|k| -40.0 + f64::from(k) * 23.5).collect();
+        let page = table.fill_page(&bearings);
+        assert_eq!(page.rows(), table.len());
+        assert_eq!(page.cols(), bearings.len());
+        for (i, (_, arr)) in table.entries().enumerate() {
+            let row = page.row(i);
+            for (&b, g) in bearings.iter().zip(row) {
+                assert_eq!(g.to_bits(), arr.gain_dbi(b).to_bits(), "entry={i} bearing={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_page_dimensions() {
+        let base = SteeredArray::paper_array(0.0);
+        let table = PatternTable::new(&base, &Codebook::from_beams(vec![10.0, 20.0]));
+        let page = table.fill_page(&[]);
+        assert_eq!(page.rows(), 2);
+        assert_eq!(page.cols(), 0);
+        assert!(page.row(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_row_out_of_range_rejected() {
+        let base = SteeredArray::paper_array(0.0);
+        let table = PatternTable::new(&base, &Codebook::from_beams(vec![10.0]));
+        table.fill_page(&[0.0]).row(1);
     }
 }

@@ -31,4 +31,4 @@ pub use frame::FrameConfig;
 pub use sls::{sector_level_sweep, SlsConfig, SlsResult};
 pub use mcs::{McsEntry, RateTable, VR_REQUIRED_RATE_MBPS, VR_REQUIRED_SNR_DB};
 pub use per::PerModel;
-pub use tone::{ToneMeasurement, ToneProbe};
+pub use tone::{ToneMeasurement, ToneMeter, ToneProbe};

@@ -16,7 +16,7 @@
 //!   leaving a residual that can still swamp a weak reflection.
 //! * **A narrowband noise floor and log-normal measurement jitter.**
 
-use movr_math::db::sum_dbm;
+use movr_math::db::{dbm_to_watts, sum_dbm, watts_to_dbm};
 use movr_math::SimRng;
 
 /// One sideband power reading.
@@ -94,6 +94,67 @@ impl ToneProbe {
             power_dbm: total + rng.normal(0.0, self.sigma_db),
         }
     }
+
+    /// Pre-resolves the sweep-constant terms of [`measure_modulated`]
+    /// for a fixed transmit power: the filtered-leakage residual and
+    /// the noise floor convert to watts once instead of per probe. The
+    /// meter's readings (and its RNG draws) are bit-identical to
+    /// calling `measure_modulated` — the per-probe watt sum keeps the
+    /// exact fold order of [`sum_dbm`].
+    pub fn modulated_meter(&self, tx_power_dbm: f64) -> ToneMeter {
+        ToneMeter {
+            loss_db: self.modulation_loss_db,
+            leak_w: dbm_to_watts(self.ap_leakage_dbm(tx_power_dbm) - self.filter_rejection_db),
+            floor_w: dbm_to_watts(self.noise_floor_dbm),
+            sigma_db: self.sigma_db,
+        }
+    }
+
+    /// [`measure_unmodulated`]'s sweep-constant terms pre-resolved, same
+    /// contract as [`ToneProbe::modulated_meter`]: the in-band leakage
+    /// (unfiltered, no conversion loss) converts to watts once.
+    pub fn unmodulated_meter(&self, tx_power_dbm: f64) -> ToneMeter {
+        ToneMeter {
+            loss_db: 0.0,
+            leak_w: dbm_to_watts(self.ap_leakage_dbm(tx_power_dbm)),
+            floor_w: dbm_to_watts(self.noise_floor_dbm),
+            sigma_db: self.sigma_db,
+        }
+    }
+}
+
+/// A [`ToneProbe`] bound to one transmit power, with every probe-
+/// invariant conversion hoisted: repeated sideband readings cost one
+/// dBm→watt conversion and one watt→dBm conversion each instead of
+/// three and one. Readings are bit-identical to the corresponding
+/// `ToneProbe::measure_*` call (same float-op order, same RNG draws).
+#[derive(Debug, Clone, Copy)]
+pub struct ToneMeter {
+    /// Conversion loss applied to the reflected carrier, dB (0 for the
+    /// unmodulated ablation).
+    loss_db: f64,
+    /// Leakage reaching the measurement filter, watts.
+    leak_w: f64,
+    /// Narrowband noise floor, watts.
+    floor_w: f64,
+    /// RMS measurement jitter, dB.
+    sigma_db: f64,
+}
+
+impl ToneMeter {
+    /// One sideband (or in-band, for the unmodulated meter) reading of
+    /// a round-trip reflection arriving at `reflected_carrier_dbm`.
+    pub fn measure(&self, reflected_carrier_dbm: f64, rng: &mut SimRng) -> ToneMeasurement {
+        // Exactly `sum_dbm(&[sideband, leak, floor])`: the std `sum()`
+        // folds left-to-right from 0.0, and `0.0 + x == x` bitwise for
+        // every power in watts, so adding the precomputed terms in the
+        // same order reproduces the bits.
+        let sideband_w = dbm_to_watts(reflected_carrier_dbm - self.loss_db);
+        let total = watts_to_dbm(sideband_w + self.leak_w + self.floor_w);
+        ToneMeasurement {
+            power_dbm: total + rng.normal(0.0, self.sigma_db),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +225,26 @@ mod tests {
     fn ap_leakage_level() {
         let p = ToneProbe::default();
         assert_eq!(p.ap_leakage_dbm(10.0), -35.0);
+    }
+
+    #[test]
+    fn meters_are_bit_identical_to_per_call_measurement() {
+        let p = ToneProbe::default();
+        for tx_power_dbm in [10.0, 20.0, 23.5] {
+            let modulated = p.modulated_meter(tx_power_dbm);
+            let unmodulated = p.unmodulated_meter(tx_power_dbm);
+            for reflected in [-30.0, -57.3, -95.0, -130.0, f64::NEG_INFINITY] {
+                let mut r1 = rng();
+                let mut r2 = rng();
+                let a = p.measure_modulated(reflected, tx_power_dbm, &mut r1).power_dbm;
+                let b = modulated.measure(reflected, &mut r2).power_dbm;
+                assert_eq!(a.to_bits(), b.to_bits(), "modulated {reflected}");
+                let a = p.measure_unmodulated(reflected, tx_power_dbm, &mut r1).power_dbm;
+                let b = unmodulated.measure(reflected, &mut r2).power_dbm;
+                assert_eq!(a.to_bits(), b.to_bits(), "unmodulated {reflected}");
+                // Both consumed the same draws.
+                assert_eq!(r1.uniform(0.0, 1.0).to_bits(), r2.uniform(0.0, 1.0).to_bits());
+            }
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! `Scene::link_budget` uses — so cached and uncached results are
 //! bit-identical by construction (same float op order).
 
+use crate::batch::LinkBatch;
 use crate::pattern::Pattern;
 use crate::raytrace::Path;
 use crate::scene::{LinkBudget, LinkEval, Scene};
@@ -59,6 +60,24 @@ impl<'s> TracedLink<'s> {
     /// The traced paths (post pruning), in deterministic tracer order.
     pub fn paths(&self) -> &[Path] {
         &self.paths
+    }
+
+    /// Freezes the traced paths into a [`LinkBatch`]: complex taps and
+    /// departure/arrival bearings in path order, plus the scene's noise
+    /// budget. The batch owns its data (no scene borrow) and evaluates
+    /// bit-identically to [`TracedLink::evaluate`] given the same
+    /// per-path gains.
+    pub fn batch(&self) -> LinkBatch {
+        let channel = self.scene.channel();
+        let mut taps = Vec::with_capacity(self.paths.len());
+        let mut departure = Vec::with_capacity(self.paths.len());
+        let mut arrival = Vec::with_capacity(self.paths.len());
+        for p in &self.paths {
+            taps.push(channel.path_gain(p).coefficient);
+            departure.push(p.departure_deg);
+            arrival.push(p.arrival_deg);
+        }
+        LinkBatch::new(taps, departure, arrival, self.scene.noise())
     }
 
     /// Reweights the traced paths under the given patterns and transmit

@@ -23,6 +23,7 @@
 //! through the [`Pattern`] trait so higher layers can plug in anything from
 //! an isotropic probe to a steered array.
 
+pub mod batch;
 pub mod cache;
 pub mod channel;
 pub mod geometry;
@@ -34,6 +35,7 @@ pub mod raytrace;
 pub mod scene;
 pub mod wideband;
 
+pub use batch::LinkBatch;
 pub use cache::{LinkCache, TracedLink};
 pub use channel::{Channel, PathGain};
 pub use geometry::{Room, Segment, Surface, Wall};

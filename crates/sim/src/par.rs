@@ -24,6 +24,41 @@ pub fn available_threads() -> usize {
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Balanced contiguous chunk layout: `(start, end)` bounds splitting
+/// `len` items over exactly `chunks` workers, in order. Every chunk gets
+/// `len / chunks` items and the first `len % chunks` chunks one extra,
+/// so chunk sizes never differ by more than one and no trailing chunk is
+/// empty. (The old `ceil`-sized splitting could strand trailing workers:
+/// 5 items over 4 threads made chunks of ⌈5/4⌉ = 2 → [2, 2, 1] and left
+/// the fourth worker idle; this yields [2, 1, 1, 1].)
+///
+/// `chunks` must be in `1..=len`; both `par_map` and the worker pool
+/// clamp before calling.
+pub(crate) fn chunk_bounds(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    debug_assert!(chunks >= 1 && chunks <= len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Renders a propagated panic payload for attribution messages.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Maps `f` over `items` on up to `threads` scoped threads, returning
 /// the results in input order. `f` receives `(index, &item)` where
 /// `index` is the item's position in `items`.
@@ -49,30 +84,29 @@ where
     if threads == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let chunk = items.len().div_ceil(threads);
+    let bounds = chunk_bounds(items.len(), threads);
     // Each worker records the item index it is about to process, so a
     // panic can be attributed without touching the item type.
-    let progress: Vec<AtomicUsize> = items
-        .chunks(chunk)
+    let progress: Vec<AtomicUsize> = bounds
+        .iter()
         .map(|_| AtomicUsize::new(usize::MAX))
         .collect();
     let mut out = Vec::with_capacity(items.len());
     thread::scope(|scope| {
         let f = &f;
         // Spawn contiguous chunks in order...
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, slice)| {
-                let base = ci * chunk;
-                let slot = &progress[ci];
+        let handles: Vec<_> = bounds
+            .iter()
+            .zip(&progress)
+            .map(|(&(start, end), slot)| {
+                let slice = &items[start..end];
                 scope.spawn(move || {
                     slice
                         .iter()
                         .enumerate()
                         .map(|(j, t)| {
-                            slot.store(base + j, Ordering::Relaxed);
-                            f(base + j, t)
+                            slot.store(start + j, Ordering::Relaxed);
+                            f(start + j, t)
                         })
                         .collect::<Vec<R>>()
                 })
@@ -84,13 +118,7 @@ where
             match handle.join() {
                 Ok(results) => out.extend(results),
                 Err(payload) => {
-                    let detail = if let Some(s) = payload.downcast_ref::<&str>() {
-                        *s
-                    } else if let Some(s) = payload.downcast_ref::<String>() {
-                        s.as_str()
-                    } else {
-                        "non-string panic payload"
-                    };
+                    let detail = panic_detail(payload.as_ref());
                     match progress[ci].load(Ordering::Relaxed) {
                         usize::MAX => panic!(
                             "par_map worker panicked before processing any item: {detail}"
@@ -138,6 +166,48 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one_and_cover_everything() {
+        // The regression case: 5 items over 4 threads used to split
+        // [2, 2, 1] with a fourth worker idle. Balanced sizing must give
+        // every worker something to do.
+        assert_eq!(chunk_bounds(5, 4), [(0, 2), (2, 3), (3, 4), (4, 5)]);
+        for len in 1..=64usize {
+            for chunks in 1..=len {
+                let bounds = chunk_bounds(len, chunks);
+                assert_eq!(bounds.len(), chunks, "len={len} chunks={chunks}");
+                let mut expect_start = 0;
+                let mut min_size = usize::MAX;
+                let mut max_size = 0;
+                for &(start, end) in &bounds {
+                    assert_eq!(start, expect_start, "contiguous, in order");
+                    assert!(end > start, "no empty chunk (len={len} chunks={chunks})");
+                    min_size = min_size.min(end - start);
+                    max_size = max_size.max(end - start);
+                    expect_start = end;
+                }
+                assert_eq!(expect_start, len, "chunks cover the input");
+                assert!(max_size - min_size <= 1, "balanced (len={len} chunks={chunks})");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_near_item_count_leave_no_worker_idle() {
+        // Behavioural form of the same regression: with 5 items on 4
+        // threads the observed worker set must span 4 distinct threads.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let items: Vec<u32> = (0..5).collect();
+        let seen: Mutex<HashSet<thread::ThreadId>> = Mutex::new(HashSet::new());
+        let out = par_map(&items, 4, |_, &x| {
+            seen.lock().expect("clean lock").insert(thread::current().id());
+            x * 10
+        });
+        assert_eq!(out, [0, 10, 20, 30, 40]);
+        assert_eq!(seen.lock().expect("clean lock").len(), 4, "all four workers busy");
     }
 
     #[test]

@@ -137,7 +137,7 @@ impl Periodic {
     /// # Panics
     /// Panics on a zero period (the event loop would never advance).
     pub fn new(start: SimTime, period: SimTime) -> Self {
-        assert!(period > SimTime::ZERO, "period must be positive");
+        assert!(period > SimTime::ZERO, "period must be positive"); // lint: constructor contract on a caller constant, not runtime input
         Periodic {
             next: start,
             period,

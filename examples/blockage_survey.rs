@@ -7,8 +7,9 @@
 //!
 //! Headset positions are drawn sequentially from the seeded RNG (so the
 //! campaign is the same regardless of parallelism), then the independent
-//! runs are fanned out with [`movr_sim::par_map`] and folded back in run
-//! order: the output is byte-identical for any thread count.
+//! runs are fanned out over the persistent pool with
+//! [`movr_sim::pool_map`] and folded back in run order: the output is
+//! byte-identical for any thread count.
 //!
 //! ```sh
 //! cargo run --release --example blockage_survey
@@ -19,7 +20,7 @@ use movr_math::{SimRng, Summary, Vec2};
 use movr_phased_array::Codebook;
 use movr_radio::{RadioEndpoint, RateTable};
 use movr_rfsim::{BodyPart, Obstacle, Scene};
-use movr_sim::{available_threads, par_map};
+use movr_sim::{available_threads, pool_map};
 
 /// Per-run measurements: SNR (dB) for LOS, hand, head, body, best NLOS.
 fn survey_run(hs_pos: Vec2) -> [f64; 5] {
@@ -73,7 +74,8 @@ fn main() {
         .map(|_| Vec2::new(rng.uniform(2.0, 4.5), rng.uniform(1.0, 4.0)))
         .collect();
 
-    let results = par_map(&positions, available_threads(), |_, &hs_pos| survey_run(hs_pos));
+    let results =
+        pool_map(positions.clone(), available_threads(), |_, &hs_pos| survey_run(hs_pos));
 
     for (run, (hs_pos, snrs)) in positions.iter().zip(&results).enumerate() {
         for (idx, &snr) in snrs.iter().enumerate() {

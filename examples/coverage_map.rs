@@ -2,9 +2,10 @@
 //! and without the reflector, for a player facing the AP — the spatial
 //! picture behind Figs. 3 and 9.
 //!
-//! Cells are independent, so they are fanned out over worker threads
-//! with [`movr_sim::par_map`]; the map is byte-identical for any thread
-//! count.
+//! Cells are independent, so they are fanned out over the persistent
+//! worker pool with [`movr_sim::pool_map`]; the map is byte-identical
+//! for any thread count, and the second render reuses the first
+//! render's threads.
 //!
 //! ```sh
 //! cargo run --release --example coverage_map
@@ -14,7 +15,7 @@ use movr::system::{MovrSystem, SystemConfig};
 use movr_math::Vec2;
 use movr_motion::{PlayerState, WorldState};
 use movr_radio::{RateTable, VR_REQUIRED_SNR_DB};
-use movr_sim::{available_threads, par_map};
+use movr_sim::{available_threads, pool_map};
 
 /// Grid resolution, metres.
 const STEP: f64 = 0.25;
@@ -44,7 +45,7 @@ fn render(with_hand: bool) {
             grid.push(Vec2::new(f64::from(gx) * STEP, f64::from(gy) * STEP));
         }
     }
-    let snrs = par_map(&grid, available_threads(), |_, &pos| {
+    let snrs = pool_map(grid, available_threads(), move |_, &pos| {
         let mut sys = MovrSystem::paper_setup(SystemConfig::default());
         let yaw = pos.bearing_deg_to(Vec2::new(0.5, 2.5));
         let player = PlayerState::standing(pos, yaw).with_hand(with_hand);

@@ -103,12 +103,24 @@ grep -q '"name":"lint_workspace_v4_callgraph"' out/BENCH_micro.json || {
     exit 1
 }
 grep -q '"name":"lint_workspace_v3_passes"' out/BENCH_micro.json
+grep -q '"name":"array_gain_batch_101"' out/BENCH_micro.json || {
+    echo "batch-kernel bench missing from microbench output" >&2
+    exit 1
+}
+grep -q '"name":"par_tiny_worker_pool"' out/BENCH_micro.json || {
+    echo "pool-overhead bench missing from microbench output" >&2
+    exit 1
+}
 
-echo "==> bench: sweep-rate gate (cached bit-identical and >= 5x; fleet byte-identical)"
+echo "==> bench: sweep-rate gate (batched bit-identical and >= 3x over memoized,"
+echo "    memoized >= 5x over uncached; fleet byte-identical, thread ladder)"
 cargo bench -p movr-bench --bench sweep --offline -- --quick 2>/dev/null \
     | grep '^{' > out/BENCH_sweep.json
 cat out/BENCH_sweep.json
+grep -q '"name":"alignment_sweep_101x101_batched"' out/BENCH_sweep.json
 grep -q '"name":"sweep_speedup"' out/BENCH_sweep.json
+grep -q '"name":"batch_speedup"' out/BENCH_sweep.json
+grep -q '"name":"fleet_speedup_4t"' out/BENCH_sweep.json
 grep -q '"bit_identical":true' out/BENCH_sweep.json
 grep -q '"byte_identical":true' out/BENCH_sweep.json
 

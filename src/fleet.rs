@@ -48,11 +48,12 @@ pub fn session_jsonl(session: u64, duration_s: f64) -> String {
 }
 
 /// All `sessions` timelines of a fleet, fanned out over `threads`
-/// worker threads. Output is byte-identical for every `threads` value
-/// (sessions are independent and returned in session order).
+/// persistent pool workers. Output is byte-identical for every
+/// `threads` value (sessions are independent and returned in session
+/// order); repeated fleets reuse the same worker threads.
 pub fn fleet_jsonl(sessions: u64, duration_s: f64, threads: usize) -> Vec<String> {
     let ids: Vec<u64> = (0..sessions).collect();
-    movr_sim::par_map(&ids, threads, |_, &id| session_jsonl(id, duration_s))
+    movr_sim::pool_map(ids, threads, move |_, &id| session_jsonl(id, duration_s))
 }
 
 #[cfg(test)]

@@ -1,0 +1,249 @@
+//! Batched vs memoized-scalar evaluation must be **bit-identical**.
+//!
+//! The batched sweep engine (SoA gain kernels, `GainPage` codebook
+//! pages, `LinkBatch` tap rows) is a pure restructuring of the memoized
+//! scalar path it replaced: every batch entry point promises the same
+//! float-op order as per-cell `MemoPattern` queries through the traced
+//! links. These tests pin that promise on the paper setup for the three
+//! load-bearing sweeps — `estimate_incidence`, `estimate_reflection`,
+//! and the `opt_nlos` baseline — by re-running each against a scalar
+//! replica of the pre-batch implementation (same discipline as
+//! `cache_equivalence.rs`, one optimization generation later).
+
+use movr::alignment::{
+    estimate_incidence, estimate_reflection, AlignmentConfig, SweepParams,
+};
+use movr::baselines::opt_nlos;
+use movr::gain_control::{run_gain_control, GainControlConfig};
+use movr::reflector::MovrReflector;
+use movr::relay::{relay_link_with, round_trip_reflection_with};
+use movr_math::{wrap_deg_180, SimRng, Vec2};
+use movr_phased_array::{Codebook, PatternTable};
+use movr_radio::{ArrayPattern, RadioEndpoint};
+use movr_rfsim::{MemoPattern, Scene};
+
+/// Scalar replica of the pre-batch `estimate_incidence` core: traced
+/// links, a pre-steered AP table, and per-pattern gain memos, probing
+/// each (θ₁, θ₂) pair through `round_trip_reflection_with`.
+fn memoized_incidence(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    mut reflector: MovrReflector,
+    config: &AlignmentConfig,
+    rng: &mut SimRng,
+) -> (f64, f64, f64) {
+    reflector.set_gain_db(config.probe_gain_db);
+    reflector.set_modulating(config.modulated);
+    let forward = scene.trace_link(ap.position(), reflector.position());
+    let back = scene.trace_link(reflector.position(), ap.position());
+    let ap_table = PatternTable::new(ap.array(), &config.ap_codebook);
+    let ap_patterns: Vec<ArrayPattern<'_>> =
+        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let ap_memos: Vec<MemoPattern<'_>> =
+        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    for &theta1 in config.reflector_codebook.beams() {
+        reflector.steer_both(theta1);
+        let relay_gain_db = reflector.effective_gain_db();
+        let rx_pattern = ArrayPattern(reflector.rx_array());
+        let tx_pattern = ArrayPattern(reflector.tx_array());
+        let rx_memo = MemoPattern::new(&rx_pattern);
+        let tx_memo = MemoPattern::new(&tx_pattern);
+        for ((theta2, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
+            let reflected = round_trip_reflection_with(
+                &forward,
+                &back,
+                ap_memo,
+                ap.tx_power_dbm(),
+                relay_gain_db,
+                &rx_memo,
+                &tx_memo,
+            )
+            .unwrap_or(f64::NEG_INFINITY);
+            let reading = if config.modulated {
+                config.probe.measure_modulated(reflected, ap.tx_power_dbm(), rng)
+            } else {
+                config.probe.measure_unmodulated(reflected, ap.tx_power_dbm(), rng)
+            };
+            if reading.power_dbm > best.0 {
+                best = (reading.power_dbm, theta1, theta2);
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn batched_incidence_sweep_is_bit_identical_to_memoized_scalar() {
+    let scene = Scene::paper_office();
+    let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 5);
+    let truth_refl = reflector.position().bearing_deg_to(ap.position());
+    let truth_ap = ap.position().bearing_deg_to(reflector.position());
+    // 21×21 keeps the double sweep fast; the bench runs the 101×101
+    // version of this same comparison.
+    let cfg = AlignmentConfig {
+        ap_codebook: Codebook::sweep(truth_ap - 10.0, truth_ap + 10.0, 1.0),
+        reflector_codebook: Codebook::sweep(truth_refl - 10.0, truth_refl + 10.0, 1.0),
+        ..Default::default()
+    };
+
+    for modulated in [true, false] {
+        let cfg = AlignmentConfig { modulated, ..cfg.clone() };
+        let mut rng_b = SimRng::seed_from_u64(42);
+        let batched = estimate_incidence(&scene, ap, reflector.clone(), &cfg, &mut rng_b);
+        let mut rng_s = SimRng::seed_from_u64(42);
+        let (peak, t1, t2) = memoized_incidence(&scene, &ap, reflector.clone(), &cfg, &mut rng_s);
+
+        assert_eq!(batched.peak_power_dbm.to_bits(), peak.to_bits());
+        assert_eq!(batched.reflector_angle_deg.to_bits(), t1.to_bits());
+        assert_eq!(batched.ap_angle_deg.to_bits(), t2.to_bits());
+        // Same number of RNG draws: the next sample from each matches.
+        assert_eq!(rng_b.uniform(0.0, 1.0).to_bits(), rng_s.uniform(0.0, 1.0).to_bits());
+    }
+}
+
+/// Scalar replica of the pre-batch `estimate_reflection` core: the
+/// reflector's RX beam stays put, its TX beam sweeps the codebook (with
+/// the §4.2 gain loop re-run per candidate), and the headset reports a
+/// noisy SNR per receive beam through `relay_link_with`.
+fn memoized_reflection(
+    scene: &Scene,
+    ap: &RadioEndpoint,
+    mut reflector: MovrReflector,
+    headset: &RadioEndpoint,
+    sweep: &SweepParams<'_>,
+    rng: &mut SimRng,
+) -> (f64, f64, f64) {
+    reflector.set_modulating(false);
+    let snr_sigma_db = 0.5;
+    let hop1 = scene.trace_link(ap.position(), reflector.position());
+    let hop2 = scene.trace_link(reflector.position(), headset.position());
+    let hs_table = PatternTable::new(headset.array(), sweep.headset_codebook);
+    let ap_pattern = ArrayPattern(ap.array());
+    let ap_memo = MemoPattern::new(&ap_pattern);
+    let hs_patterns: Vec<ArrayPattern<'_>> =
+        hs_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let hs_memos: Vec<MemoPattern<'_>> =
+        hs_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+
+    let mut best = (f64::NEG_INFINITY, 0.0, 0.0);
+    for &tx_deg in sweep.tx_codebook.beams() {
+        reflector.steer_tx(tx_deg);
+        run_gain_control(&mut reflector, &GainControlConfig::default());
+        let rx_pattern = ArrayPattern(reflector.rx_array());
+        let tx_pattern = ArrayPattern(reflector.tx_array());
+        let rx_memo = MemoPattern::new(&rx_pattern);
+        let tx_memo = MemoPattern::new(&tx_pattern);
+        for ((rx_deg, _), hs_memo) in hs_table.entries().zip(&hs_memos) {
+            let budget = relay_link_with(
+                &hop1,
+                &hop2,
+                &ap_memo,
+                ap.tx_power_dbm(),
+                &reflector,
+                &rx_memo,
+                &tx_memo,
+                hs_memo,
+            );
+            let reported = budget.end_snr_db + rng.normal(0.0, snr_sigma_db);
+            if reported > best.0 {
+                best = (reported, tx_deg, rx_deg);
+            }
+        }
+    }
+    best
+}
+
+#[test]
+fn batched_reflection_sweep_is_bit_identical_to_memoized_scalar() {
+    let scene = Scene::paper_office();
+    let mut ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let mut reflector = MovrReflector::wall_mounted(Vec2::new(1.0, 4.75), -70.0, 7);
+    let hs_pos = Vec2::new(3.5, 1.5);
+    let headset = RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(reflector.position()));
+    ap.steer_toward(reflector.position());
+    reflector.steer_rx(reflector.position().bearing_deg_to(ap.position()));
+
+    let to_hs = reflector.position().bearing_deg_to(hs_pos);
+    let hs_bore = headset.array().boresight_deg();
+    let tx_codebook = Codebook::sweep(to_hs - 10.0, to_hs + 10.0, 2.0);
+    let headset_codebook = Codebook::sweep(hs_bore - 10.0, hs_bore + 10.0, 2.0);
+    let config = AlignmentConfig::default();
+    let sweep = SweepParams {
+        tx_codebook: &tx_codebook,
+        headset_codebook: &headset_codebook,
+        config: &config,
+    };
+
+    let mut rng_b = SimRng::seed_from_u64(7);
+    let batched =
+        estimate_reflection(&scene, &ap, reflector.clone(), headset, &sweep, &mut rng_b);
+    let mut rng_s = SimRng::seed_from_u64(7);
+    let (peak, tx, rx) =
+        memoized_reflection(&scene, &ap, reflector, &headset, &sweep, &mut rng_s);
+
+    assert_eq!(batched.peak_snr_db.to_bits(), peak.to_bits());
+    assert_eq!(batched.tx_angle_deg.to_bits(), tx.to_bits());
+    assert_eq!(batched.headset_angle_deg.to_bits(), rx.to_bits());
+    assert_eq!(rng_b.uniform(0.0, 1.0).to_bits(), rng_s.uniform(0.0, 1.0).to_bits());
+}
+
+#[test]
+fn batched_opt_nlos_is_bit_identical_to_memoized_scalar() {
+    use movr_rfsim::{BodyPart, Obstacle};
+
+    let mut scene = Scene::paper_office();
+    let ap = RadioEndpoint::paper_radio(Vec2::new(0.5, 2.5), 20.0);
+    let hs_pos = Vec2::new(3.5, 1.5);
+    let headset = RadioEndpoint::paper_radio(hs_pos, hs_pos.bearing_deg_to(ap.position()));
+    scene.add_obstacle(Obstacle::new(
+        BodyPart::Torso,
+        ap.position().lerp(hs_pos, 0.55),
+    ));
+    let hs_bore = headset.array().boresight_deg();
+    let ap_codebook = Codebook::sweep(-50.0, 90.0, 4.0);
+    let hs_codebook = Codebook::sweep(hs_bore - 50.0, hs_bore + 50.0, 4.0);
+    let exclude_cone_deg = 7.0;
+
+    let batched = opt_nlos(&scene, &ap, &headset, &ap_codebook, &hs_codebook, exclude_cone_deg);
+
+    // Scalar replica of the pre-batch search: pre-steered tables with a
+    // gain memo per candidate pattern, evaluated through the traced link.
+    let direct_ap = ap.position().bearing_deg_to(hs_pos);
+    let direct_hs = hs_pos.bearing_deg_to(ap.position());
+    let link = scene.trace_link(ap.position(), hs_pos);
+    let ap_table = PatternTable::new(ap.array(), &ap_codebook);
+    let hs_table = PatternTable::new(headset.array(), &hs_codebook);
+    let ap_patterns: Vec<ArrayPattern<'_>> =
+        ap_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let ap_memos: Vec<MemoPattern<'_>> =
+        ap_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+    let hs_patterns: Vec<ArrayPattern<'_>> =
+        hs_table.entries().map(|(_, arr)| ArrayPattern(arr)).collect();
+    let hs_memos: Vec<MemoPattern<'_>> =
+        hs_patterns.iter().map(|p| MemoPattern::new(p)).collect();
+
+    let mut best = (f64::NEG_INFINITY, direct_ap, direct_hs);
+    let mut combinations = 0usize;
+    for ((a, _), ap_memo) in ap_table.entries().zip(&ap_memos) {
+        let ap_is_direct = wrap_deg_180(a - direct_ap).abs() <= exclude_cone_deg;
+        for ((h, _), hs_memo) in hs_table.entries().zip(&hs_memos) {
+            let hs_is_direct = wrap_deg_180(h - direct_hs).abs() <= exclude_cone_deg;
+            if ap_is_direct && hs_is_direct {
+                continue;
+            }
+            combinations += 1;
+            let snr = link.evaluate(ap_memo, ap.tx_power_dbm(), hs_memo).snr_db;
+            if snr > best.0 {
+                best = (snr, a, h);
+            }
+        }
+    }
+
+    assert_eq!(batched.snr_db.to_bits(), best.0.to_bits());
+    assert_eq!(batched.ap_deg.to_bits(), best.1.to_bits());
+    assert_eq!(batched.headset_deg.to_bits(), best.2.to_bits());
+    assert_eq!(batched.combinations, combinations);
+}
